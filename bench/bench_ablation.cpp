@@ -1,0 +1,183 @@
+// Ablations of the design choices DESIGN.md calls out.
+//
+// A1  sequence-length coefficient: L = c * n'^2 for the routing sequence.
+//     Too short and the failure "certificate" becomes UNSOUND (a missed
+//     connected target); the default (~24 n'^2 log n') buys soundness
+//     headroom.  Measured: delivery on known-connected pairs vs c.
+//
+// A2  symbol alphabet: Definition 3 uses offsets {0,1,2} on 3-regular
+//     graphs.  Sub-alphabets lose coverage: {0} bounces on one edge
+//     forever; {1} can orbit; {1,2} never reverses an edge (it cannot
+//     bounce), which strands it on some labelled trees.  Measured: cover
+//     rate over the cubic catalogue under random labellings.
+//
+// A3  the static-network assumption: reversibility is what brings the
+//     status home; if the topology changes mid-walk, the backtrack can
+//     derail.  Measured: fraction of walks whose backward replay fails to
+//     reach the origin after a random double-edge-swap halfway through.
+#include "bench_common.h"
+
+#include "core/api.h"
+#include "explore/walker.h"
+#include "graph/algorithms.h"
+#include "graph/catalog.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace uesr;
+
+/// Random double-edge swap on a cubic graph (keeps 3-regularity; may
+/// create multi-edges, which the walker handles fine).
+graph::Graph swap_two_edges(const graph::Graph& g, util::Pcg32& rng) {
+  std::vector<std::pair<graph::HalfEdge, graph::HalfEdge>> edges;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    for (graph::Port p = 0; p < g.degree(v); ++p) {
+      graph::HalfEdge far = g.rotate(v, p);
+      if (graph::HalfEdge{v, p} < far) edges.push_back({{v, p}, far});
+    }
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    auto [a, b] = edges[rng.next_below(static_cast<std::uint32_t>(edges.size()))];
+    auto [c, d] = edges[rng.next_below(static_cast<std::uint32_t>(edges.size()))];
+    if (a.node == c.node || a.node == d.node || b.node == c.node ||
+        b.node == d.node)
+      continue;
+    // Rewire (a-b),(c-d) -> (a-c),(b-d), keeping the same ports.
+    std::vector<std::vector<graph::HalfEdge>> adj(g.num_nodes());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      adj[v].resize(g.degree(v));
+      for (graph::Port p = 0; p < g.degree(v); ++p) adj[v][p] = g.rotate(v, p);
+    }
+    adj[a.node][a.port] = c;
+    adj[c.node][c.port] = a;
+    adj[b.node][b.port] = d;
+    adj[d.node][d.port] = b;
+    return graph::from_rotation(std::move(adj));
+  }
+  return g;  // give up: unchanged
+}
+
+}  // namespace
+
+int main() {
+  using namespace uesr;
+  bench::banner("A — ablations",
+                "sequence length, symbol alphabet, and the static-network "
+                "assumption");
+
+  // ---- A1: length coefficient vs soundness.
+  {
+    util::Table t({"L / n'^2", "connected pairs", "delivered",
+                   "unsound failures"});
+    for (double c : {0.005, 0.02, 0.05, 0.25, 1.0, 4.0}) {
+      int pairs = 0, delivered = 0;
+      for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        graph::Graph g = graph::connected_gnp(24, 0.12, seed);
+        explore::ReducedGraph red = explore::reduce_to_cubic(g);
+        std::uint64_t np = red.cubic.num_nodes();
+        auto seq = std::make_shared<explore::RandomExplorationSequence>(
+            1234, std::max<std::uint64_t>(
+                      4, static_cast<std::uint64_t>(c * np * np)),
+            static_cast<graph::NodeId>(np));
+        core::UesRouter router(red, seq, np + 1);
+        util::Pcg32 rng(seed);
+        for (int i = 0; i < 10; ++i) {
+          graph::NodeId s = rng.next_below(24), d = rng.next_below(24);
+          if (s == d) continue;
+          ++pairs;
+          delivered += router.route(s, d).delivered;
+        }
+      }
+      t.row().cell(c, 3).cell(pairs).cell(delivered).cell(pairs - delivered);
+    }
+    t.print(std::cout);
+    std::cout << "\nbelow the cover threshold the walk misses connected "
+                 "targets and the \"failure certificate\" is UNSOUND; by "
+                 "L ~ 0.25 n'^2 every pair delivers on these sizes — the "
+                 "library default (~24 n'^2 log n') keeps orders of "
+                 "magnitude of headroom because soundness is the whole "
+                 "point\n\n";
+  }
+
+  // ---- A2: alphabet ablation on the cubic catalogue.
+  {
+    util::Table t({"alphabet", "walks", "covered", "rate"});
+    struct Alt {
+      std::string name;
+      std::vector<explore::Symbol> symbols;
+    };
+    std::vector<Alt> alts = {{"{0,1,2} (paper)", {0, 1, 2}},
+                             {"{0,1}", {0, 1}},
+                             {"{1,2} (never bounce)", {1, 2}},
+                             {"{1} (constant)", {1}}};
+    for (const auto& alt : alts) {
+      std::uint64_t walks = 0, covered = 0;
+      util::Pcg32 rng(9);
+      for (graph::NodeId n : {8u, 10u}) {
+        for (const auto& g : graph::connected_cubic_graphs(n, 1)) {
+          graph::Graph labeled = g.randomly_relabeled(rng);
+          // Map a long pseudorandom index stream into the sub-alphabet.
+          std::vector<explore::Symbol> syms(4096);
+          util::CounterRng cr(42);
+          for (std::size_t i = 0; i < syms.size(); ++i)
+            syms[i] = alt.symbols[cr.value_below(
+                i, static_cast<std::uint32_t>(alt.symbols.size()))];
+          explore::FixedExplorationSequence seq(syms, n, alt.name);
+          for (graph::NodeId v = 0; v < labeled.num_nodes(); v += 2) {
+            ++walks;
+            covered += explore::covers_component(labeled, {v, 0}, seq);
+          }
+        }
+      }
+      t.row().cell(alt.name).cell(walks).cell(covered).cell(
+          static_cast<double>(covered) / static_cast<double>(walks), 3);
+    }
+    t.print(std::cout);
+    std::cout << "\nmeasured: long random sequences over any 2-offset "
+                 "alphabet still covered these instances (richer symbol "
+                 "sets mainly buy speed), while the degenerate constant "
+                 "offset strands half the walks — Definition 3's ternary "
+                 "alphabet is the safe general choice\n\n";
+  }
+
+  // ---- A3: static assumption.
+  {
+    util::Table t({"topology change", "walks", "backtrack returned",
+                   "derailed"});
+    for (bool mutate : {false, true}) {
+      int walks = 0, returned = 0;
+      util::Pcg32 rng(5);
+      for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        graph::Graph g1 = graph::random_connected_regular(24, 3, seed);
+        explore::RandomExplorationSequence seq(seed, 600, 24);
+        graph::HalfEdge start{0, 0};
+        const std::uint64_t half = 300;
+        // Forward: first half on g1, second half on g2.
+        graph::Graph g2 = mutate ? swap_two_edges(g1, rng) : g1;
+        graph::HalfEdge d = start;
+        for (std::uint64_t j = 1; j <= half; ++j)
+          d = explore::forward_step(g1, d, seq.symbol(j));
+        for (std::uint64_t j = half + 1; j <= 600; ++j)
+          d = explore::forward_step(g2, d, seq.symbol(j));
+        // Backward entirely on g2 (the network as it is NOW).
+        for (std::uint64_t j = 600; j >= 1; --j)
+          d = explore::reverse_step(g2, d, seq.symbol(j));
+        ++walks;
+        returned += (d == start);
+      }
+      t.row()
+          .cell(mutate ? "one edge swap mid-walk" : "none (static)")
+          .cell(walks)
+          .cell(returned)
+          .cell(walks - returned);
+    }
+    t.print(std::cout);
+    std::cout << "\nwith a static network every backtrack returns; a "
+                 "single mid-walk rewiring derails most replays — the "
+                 "paper's static assumption is load-bearing, and dynamic "
+                 "graphs genuinely need different machinery\n";
+  }
+  return 0;
+}

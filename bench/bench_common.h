@@ -1,0 +1,31 @@
+// Shared helpers for the experiment harness (bench/).
+//
+// Every binary regenerates one experiment row-set from DESIGN.md §4 and
+// prints a markdown table; EXPERIMENTS.md records the expected shapes.
+// Keep runtimes modest: these run in CI-style loops.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+namespace uesr::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n## " << id << "\n" << claim << "\n\n";
+}
+
+}  // namespace uesr::bench

@@ -1,0 +1,94 @@
+// E5 (Corollary 2): interleaving a fast probabilistic router with the
+// guaranteed walker costs only a constant factor over the probabilistic
+// router alone, while adding guaranteed termination.
+//
+// Shape expected: on graphs where the random walk is fast (cliques,
+// expanders), hybrid mean time ~ 2x the random walk mean (the interleave
+// factor) and far below the pure UES walk; on unreachable targets the
+// hybrid still terminates, with a certificate — which the random walk
+// alone can never produce.
+#include "bench_common.h"
+
+#include "baselines/random_walk.h"
+#include "core/api.h"
+#include "core/hybrid.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace uesr;
+  bench::banner("E5 / Cor 2 — hybrid combiner",
+                "paper: probabilistic expected time O(T(n)) + guaranteed "
+                "termination, by 1:1 interleave");
+
+  struct Net {
+    std::string name;
+    graph::Graph g;
+  };
+  std::vector<Net> nets;
+  nets.push_back({"complete(24)", graph::complete(24)});
+  nets.push_back({"cubic-expander(40)",
+                  graph::random_connected_regular(40, 3, 3)});
+  nets.push_back({"torus(8x8)", graph::torus(8, 8)});
+  nets.push_back({"lollipop(10,30)", graph::lollipop(10, 30)});
+
+  util::Table t({"topology", "trials", "rw mean tx", "ues mean tx",
+                 "hybrid mean tx", "hybrid/rw", "prob wins", "guar wins"});
+  const int kTrials = 25;
+  for (auto& [name, g] : nets) {
+    explore::ReducedGraph red = explore::reduce_to_cubic(g);
+    auto seq = explore::standard_ues(red.cubic.num_nodes());
+    util::Pcg32 rng(9);
+    util::Samples rw_tx, ues_tx, hy_tx;
+    int prob_wins = 0, guar_wins = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      graph::NodeId s = rng.next_below(g.num_nodes());
+      graph::NodeId tgt = rng.next_below(g.num_nodes());
+      if (s == tgt) tgt = (tgt + 1) % g.num_nodes();
+      // Pure random walk (unbounded; these graphs are connected).
+      baselines::RandomWalkSession rw(g, s, tgt, 0, 1000 + i);
+      while (!rw.delivered()) rw.step();
+      rw_tx.add(static_cast<double>(rw.transmissions()));
+      // Pure UES (to delivery instant).
+      core::RouteSession ues(red, *seq, s, tgt);
+      while (!ues.target_reached() && !ues.finished()) ues.step();
+      ues_tx.add(static_cast<double>(ues.transmissions()));
+      // Hybrid.
+      baselines::RandomWalkSession prob(g, s, tgt, 0, 2000 + i);
+      core::RouteSession guar(red, *seq, s, tgt);
+      auto h = core::route_hybrid(prob, guar);
+      hy_tx.add(static_cast<double>(h.total_transmissions));
+      prob_wins += h.winner == core::HybridWinner::kProbabilistic;
+      guar_wins += h.winner == core::HybridWinner::kGuaranteed;
+    }
+    t.row()
+        .cell(name)
+        .cell(kTrials)
+        .cell(rw_tx.mean(), 0)
+        .cell(ues_tx.mean(), 0)
+        .cell(hy_tx.mean(), 0)
+        .cell(hy_tx.mean() / rw_tx.mean(), 2)
+        .cell(prob_wins)
+        .cell(guar_wins);
+  }
+  t.print(std::cout);
+
+  // Termination guarantee on an unreachable target.
+  graph::Graph split = graph::from_edges(12, {{0, 1}, {1, 2}, {2, 3},
+                                              {4, 5}, {5, 6}});
+  explore::ReducedGraph red = explore::reduce_to_cubic(split);
+  auto seq = explore::standard_ues(red.cubic.num_nodes());
+  baselines::RandomWalkSession prob(split, 0, 5, 50000, 3);
+  core::RouteSession guar(red, *seq, 0, 5);
+  auto h = core::route_hybrid(prob, guar);
+  std::cout << "\nunreachable target: hybrid terminated after "
+            << h.total_transmissions << " transmissions with certificate="
+            << (h.certified_unreachable ? "yes" : "no")
+            << " (a pure random walk never terminates here)\n"
+            << "\nhybrid/rw stays a small constant where the walk is fast "
+               "(the 1:1 interleave is the factor ~2 the corollary "
+               "predicts) and the guarantee costs nothing asymptotically\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E10: micro-benchmarks (google-benchmark) for the per-step costs that
+// the paper's complexity claims are built from: symbol evaluation, walk
+// steps, rotation-map products, degree reduction, and probe round trips.
+#include <benchmark/benchmark.h>
+
+#include "core/count_nodes.h"
+#include "core/route.h"
+#include "explore/degree_reduce.h"
+#include "explore/sequence.h"
+#include "explore/walker.h"
+#include "graph/generators.h"
+#include "reingold/products.h"
+#include "reingold/rotation_map.h"
+
+namespace {
+
+using namespace uesr;
+
+void BM_SymbolEvaluation(benchmark::State& state) {
+  explore::RandomExplorationSequence seq(1, 1 << 20, 1024);
+  std::uint64_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.symbol(i));
+    i = i % (1 << 20) + 1;
+  }
+}
+BENCHMARK(BM_SymbolEvaluation);
+
+void BM_ForwardStep(benchmark::State& state) {
+  graph::Graph g = graph::random_connected_regular(
+      static_cast<graph::NodeId>(state.range(0)), 3, 7);
+  explore::RandomExplorationSequence seq(2, 1 << 20, g.num_nodes());
+  graph::HalfEdge d{0, 0};
+  std::uint64_t i = 1;
+  for (auto _ : state) {
+    d = explore::forward_step(g, d, seq.symbol(i));
+    benchmark::DoNotOptimize(d);
+    i = i % (1 << 20) + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardStep)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RouteSessionStep(benchmark::State& state) {
+  graph::Graph g = graph::random_connected_regular(256, 3, 9);
+  explore::ReducedGraph red = explore::reduce_to_cubic(g);
+  auto seq = explore::standard_ues(red.cubic.num_nodes());
+  core::RouteSession session(red, *seq, 0, 255);
+  for (auto _ : state) {
+    if (session.finished())
+      session = core::RouteSession(red, *seq, 0, 255);
+    session.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteSessionStep);
+
+void BM_DegreeReduction(benchmark::State& state) {
+  graph::Graph g = graph::gnp(static_cast<graph::NodeId>(state.range(0)),
+                              8.0 / state.range(0), 3);
+  for (auto _ : state) {
+    auto r = explore::reduce_to_cubic(g);
+    benchmark::DoNotOptimize(r.cubic.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_DegreeReduction)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_RotationProductQuery(benchmark::State& state) {
+  using namespace uesr::reingold;
+  auto g = share(pad_to_regular(graph::cycle(64), 16));
+  auto h = share(DenseRotationMap::from_graph(graph::cycle(16)));
+  auto zz = power(zigzag(g, h), 2);
+  std::uint64_t v = 0;
+  std::uint32_t e = 0;
+  for (auto _ : state) {
+    Place p = zz->rotate({v % zz->num_vertices(), e % zz->degree()});
+    benchmark::DoNotOptimize(p);
+    v += 17;
+    e += 3;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RotationProductQuery);
+
+void BM_RetrieveProbe(benchmark::State& state) {
+  graph::Graph g = graph::cycle(16);
+  explore::ReducedGraph red = explore::reduce_to_cubic(g);
+  auto seq = explore::standard_ues(red.cubic.num_nodes());
+  std::uint64_t tx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::retrieve(red, *seq, 0, static_cast<std::uint64_t>(state.range(0)),
+                       tx));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (state.range(0) + 1));
+}
+BENCHMARK(BM_RetrieveProbe)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_CoverCheck(benchmark::State& state) {
+  graph::Graph g = graph::random_connected_regular(
+      static_cast<graph::NodeId>(state.range(0)), 3, 5);
+  explore::RandomExplorationSequence seq(3, 64ULL * state.range(0) *
+                                                state.range(0),
+                                         g.num_nodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explore::cover_time(g, {0, 0}, seq));
+  }
+}
+BENCHMARK(BM_CoverCheck)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Common interface for routing baselines so benches can sweep routers
+// uniformly.  Every attempt reports whether the message reached t and how
+// many transmissions were spent; routers that can *certify* a failure
+// (only the UES router and flooding can) say so.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace uesr::baselines {
+
+struct Attempt {
+  bool delivered = false;
+  /// True when a non-delivery is a proof of disconnection rather than a
+  /// give-up (TTL, local minimum, ...).
+  bool failure_certified = false;
+  std::uint64_t transmissions = 0;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual Attempt route(graph::NodeId s, graph::NodeId t) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace uesr::baselines

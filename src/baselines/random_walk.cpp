@@ -1,0 +1,39 @@
+#include "baselines/random_walk.h"
+
+#include <stdexcept>
+
+namespace uesr::baselines {
+
+RandomWalkSession::RandomWalkSession(const graph::Graph& g, graph::NodeId s,
+                                     graph::NodeId t, std::uint64_t ttl,
+                                     std::uint64_t seed)
+    : g_(&g), target_(t), current_(s), delivered_(s == t), ttl_(ttl),
+      rng_(seed) {
+  if (s >= g.num_nodes() || t >= g.num_nodes())
+    throw std::invalid_argument("RandomWalkSession: node out of range");
+}
+
+void RandomWalkSession::step() {
+  if (delivered_ || exhausted()) return;
+  graph::Port deg = g_->degree(current_);
+  if (deg == 0) {  // isolated node: the walk can never move
+    transmissions_ = ttl_ == 0 ? transmissions_ + 1 : ttl_;
+    return;
+  }
+  graph::Port p = static_cast<graph::Port>(rng_.next_below(deg));
+  current_ = g_->neighbor(current_, p);
+  ++transmissions_;
+  if (current_ == target_) delivered_ = true;
+}
+
+Attempt RandomWalkRouter::route(graph::NodeId s, graph::NodeId t) {
+  RandomWalkSession session(*g_, s, t, ttl_, seeder_.next());
+  while (!session.delivered() && !session.exhausted()) session.step();
+  Attempt a;
+  a.delivered = session.delivered();
+  a.failure_certified = false;  // a TTL expiry proves nothing
+  a.transmissions = session.transmissions();
+  return a;
+}
+
+}  // namespace uesr::baselines

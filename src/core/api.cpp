@@ -1,0 +1,53 @@
+#include "core/api.h"
+
+#include <stdexcept>
+
+namespace uesr::core {
+
+AdHocNetwork::AdHocNetwork(const graph::Graph& g, Options options)
+    : original_(&g), reduced_(explore::reduce_to_cubic(g)),
+      options_(options) {
+  graph::NodeId cubic_n = reduced_.cubic.num_nodes();
+  if (options_.namespace_size == 0)
+    options_.namespace_size = std::max<std::uint64_t>(cubic_n, 1);
+  if (options_.sequence) {
+    sequence_ = options_.sequence;
+  } else {
+    graph::NodeId bound = options_.size_bound.value_or(cubic_n);
+    if (bound == 0) bound = 1;
+    sequence_ = explore::standard_ues(bound, options_.seed);
+  }
+  router_ = std::make_unique<UesRouter>(reduced_, sequence_,
+                                        options_.namespace_size);
+}
+
+RouteResult AdHocNetwork::route(graph::NodeId s, graph::NodeId t) const {
+  return router_->route(s, t);
+}
+
+UesRouter::BroadcastResult AdHocNetwork::broadcast(graph::NodeId s) const {
+  return router_->broadcast(s);
+}
+
+CountResult AdHocNetwork::count_component(graph::NodeId s,
+                                          CountMode mode) const {
+  return count_nodes(reduced_, s, default_sequence_family(options_.seed),
+                     mode);
+}
+
+AdaptiveRouteResult AdHocNetwork::route_adaptive(graph::NodeId s,
+                                                 graph::NodeId t,
+                                                 CountMode mode) const {
+  AdaptiveRouteResult out;
+  out.census = count_component(s, mode);
+  // CountNodes certified (by neighbourhood closure) that Cs' has exactly
+  // gadget_count vertices; size the sequence for that bound.
+  auto bound = static_cast<graph::NodeId>(out.census.gadget_count);
+  auto seq = explore::standard_ues(std::max<graph::NodeId>(bound, 1),
+                                   options_.seed ^ 0xada9);
+  UesRouter router(reduced_, seq, options_.namespace_size);
+  out.route = router.route(s, t);
+  return out;
+}
+
+}  // namespace uesr::core

@@ -1,0 +1,79 @@
+// Public façade: everything Theorem 1 promises behind one object.
+//
+//   uesr::core::AdHocNetwork net(my_graph);
+//   auto r = net.route(s, t);          // guaranteed; needs a size bound
+//   auto a = net.route_adaptive(s, t); // no prior knowledge at all (§3+§4)
+//   auto b = net.broadcast(s);
+//   auto c = net.count_component(s);   // CountNodes
+//
+// AdHocNetwork owns the degree reduction of the input graph and the
+// exploration-sequence choices; every operation is deterministic given the
+// seed in Options.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/count_nodes.h"
+#include "core/route.h"
+#include "explore/degree_reduce.h"
+#include "explore/sequence.h"
+#include "graph/graph.h"
+
+namespace uesr::core {
+
+struct Options {
+  /// Seed for the pseudorandom T_n family.
+  std::uint64_t seed = 0x5eed0001;
+  /// Size of the global namespace (for header-bit accounting).  Defaults
+  /// to the number of gadget vertices when 0.
+  std::uint64_t namespace_size = 0;
+  /// Size bound for T_n used by route()/broadcast(); defaults to the full
+  /// reduced-graph size (always safe).  route_adaptive() ignores this and
+  /// learns the bound with CountNodes.
+  std::optional<graph::NodeId> size_bound;
+  /// Custom sequence; overrides seed/size_bound when set.
+  std::shared_ptr<const explore::ExplorationSequence> sequence;
+};
+
+struct AdaptiveRouteResult {
+  RouteResult route;
+  CountResult census;  ///< the CountNodes run that learned the bound
+};
+
+class AdHocNetwork {
+ public:
+  /// The graph must outlive the network wrapper.
+  explicit AdHocNetwork(const graph::Graph& g, Options options = {});
+
+  /// Theorem 1 routing with the configured size bound.
+  RouteResult route(graph::NodeId s, graph::NodeId t) const;
+
+  /// Broadcast to s's connected component.
+  UesRouter::BroadcastResult broadcast(graph::NodeId s) const;
+
+  /// Algorithm CountNodes (§4).
+  CountResult count_component(graph::NodeId s,
+                              CountMode mode = CountMode::kFast) const;
+
+  /// Full no-prior-knowledge pipeline: CountNodes learns |Cs'|, then
+  /// routes with a sequence sized exactly for it.  A failed route is then
+  /// a certificate that t is not in s's component (up to the empirical
+  /// universality of the sequence family; see DESIGN.md).
+  AdaptiveRouteResult route_adaptive(graph::NodeId s, graph::NodeId t,
+                                     CountMode mode = CountMode::kFast) const;
+
+  const explore::ReducedGraph& reduced() const { return reduced_; }
+  const UesRouter& router() const { return *router_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const graph::Graph* original_;
+  explore::ReducedGraph reduced_;
+  Options options_;
+  std::shared_ptr<const explore::ExplorationSequence> sequence_;
+  std::unique_ptr<UesRouter> router_;
+};
+
+}  // namespace uesr::core

@@ -1,0 +1,88 @@
+// Counting the vertices of the source's component (paper §4).
+//
+// The paper removes the "know n in advance" assumption with a doubling
+// scheme: run exploration sequences T_1, T_2, T_4, ... from s; after each,
+// use two probe primitives to test whether the visited set is closed under
+// neighbourhood — if it is, the walk covered exactly Cs and its distinct
+// names can be counted:
+//
+//   Retrieve(s, T, i)            — name of the node visited at step i;
+//   RetrieveNeighbor(s, T, i, j) — name of that node's j-th neighbour.
+//
+// Both are implemented here as genuine message protocols over the stateless
+// network: a probe walks forward i steps (same bookkeeping as Route),
+// samples a name into its O(log n) header — for the neighbour variant, one
+// extra hop out of port j and back, parking the return port in the header —
+// and then backtracks to s via reversibility.
+//
+// Complexities are exactly the paper's: closure checking costs O(L^2)
+// probe invocations of O(L) transmissions each, so message-faithful
+// counting is O(L^3) — polynomial, as claimed, but steep.  Two execution
+// modes are therefore offered:
+//
+//   * kFaithful — every probe really walks the network hop by hop;
+//     intended for small components (the integration tests pin its
+//     equivalence to ground truth);
+//   * kFast     — the walk is simulated centrally once per epoch and
+//     probes are answered from the trace.  Outputs are bit-identical to
+//     kFaithful (the paper's early-exit scan semantics are replayed
+//     arithmetically to report the same transmission counts) at a tiny
+//     actual cost, enabling large-scale benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "explore/degree_reduce.h"
+#include "explore/sequence.h"
+#include "graph/graph.h"
+
+namespace uesr::core {
+
+enum class CountMode { kFaithful, kFast };
+
+/// Factory for the T_{2^k} family; receives the size bound 2^k.
+using SequenceFactory =
+    std::function<std::shared_ptr<const explore::ExplorationSequence>(
+        graph::NodeId size_bound)>;
+
+/// Default family: seeded pseudorandom sequences of default length.
+SequenceFactory default_sequence_family(std::uint64_t seed);
+
+struct CountResult {
+  /// |Cs'|: vertices of the component of s in the reduced cubic graph.
+  std::uint64_t gadget_count = 0;
+  /// Distinct original names among them: |Cs| in the original graph.
+  std::uint64_t original_count = 0;
+  /// Number of doubling epochs used (final k; size bound was 2^k).
+  unsigned epochs = 0;
+  /// Size bound 2^k that first achieved neighbourhood closure.
+  graph::NodeId final_bound = 0;
+  /// Total transmissions (real for kFaithful, exact-equivalent for kFast).
+  std::uint64_t transmissions = 0;
+  /// Total probe invocations.
+  std::uint64_t probes = 0;
+};
+
+/// One Retrieve(s, T, i) probe, message-faithful.  Returns the *gadget
+/// name* (unique per G' vertex: nodes are named (original, port-slot)).
+/// `transmissions` is incremented by the probe's real cost.
+graph::NodeId retrieve(const explore::ReducedGraph& net,
+                       const explore::ExplorationSequence& seq,
+                       graph::NodeId s, std::uint64_t i,
+                       std::uint64_t& transmissions);
+
+/// One RetrieveNeighbor(s, T, i, j) probe, message-faithful.
+graph::NodeId retrieve_neighbor(const explore::ReducedGraph& net,
+                                const explore::ExplorationSequence& seq,
+                                graph::NodeId s, std::uint64_t i,
+                                graph::Port j, std::uint64_t& transmissions);
+
+/// Algorithm CountNodes(s).  Doubles the size bound until the walk's
+/// visited set is closed under neighbourhood, then counts distinct names.
+CountResult count_nodes(const explore::ReducedGraph& net, graph::NodeId s,
+                        const SequenceFactory& family,
+                        CountMode mode = CountMode::kFast);
+
+}  // namespace uesr::core

@@ -1,0 +1,44 @@
+#include "core/hybrid.h"
+
+namespace uesr::core {
+
+HybridResult route_hybrid(TokenWalker& probabilistic,
+                          RouteSession& guaranteed) {
+  HybridResult res;
+  for (;;) {
+    if (probabilistic.delivered()) {  // covers pre-delivered (s == t)
+      res.delivered = true;
+      res.winner = HybridWinner::kProbabilistic;
+      break;
+    }
+    if (!probabilistic.exhausted()) {
+      probabilistic.step();
+      if (probabilistic.delivered()) {
+        res.delivered = true;
+        res.winner = HybridWinner::kProbabilistic;
+        break;
+      }
+    }
+    if (!guaranteed.finished()) {
+      guaranteed.step();
+      if (guaranteed.target_reached()) {
+        res.delivered = true;
+        res.winner = HybridWinner::kGuaranteed;
+        break;
+      }
+      if (guaranteed.finished()) {
+        // Finished without reaching t: failure certificate.
+        res.certified_unreachable = true;
+        res.winner = HybridWinner::kCertifiedFailure;
+        break;
+      }
+    }
+  }
+  res.probabilistic_transmissions = probabilistic.transmissions();
+  res.guaranteed_transmissions = guaranteed.transmissions();
+  res.total_transmissions =
+      res.probabilistic_transmissions + res.guaranteed_transmissions;
+  return res;
+}
+
+}  // namespace uesr::core

@@ -1,0 +1,53 @@
+// The Corollary-2 combiner: run a fast probabilistic router in parallel
+// with the guaranteed UES router and stop as soon as either decides.
+//
+// The paper's observation: if a probabilistic algorithm delivers in
+// expected time T(n) with failure probability n^{-omega(1)}, interleaving
+// it 1:1 with the guaranteed walker yields expected time O(T(n)) — at most
+// a factor-2 slowdown plus a vanishing correction — while inheriting the
+// guarantee: if t is unreachable, the UES walker eventually returns with a
+// *certified* failure, so the combined algorithm always terminates.
+//
+// The probabilistic side is abstracted as a TokenWalker so any baseline
+// (random walk, greedy, whatever) can plug in; baselines/ provides
+// implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/route.h"
+
+namespace uesr::core {
+
+/// One message walking the network, advanced one transmission at a time.
+class TokenWalker {
+ public:
+  virtual ~TokenWalker() = default;
+  virtual void step() = 0;                 ///< one transmission
+  virtual bool delivered() const = 0;      ///< has it reached the target?
+  virtual bool exhausted() const = 0;      ///< gave up (TTL etc.)
+  virtual std::uint64_t transmissions() const = 0;
+};
+
+enum class HybridWinner { kProbabilistic, kGuaranteed, kCertifiedFailure };
+
+struct HybridResult {
+  bool delivered = false;
+  /// True only when the UES walker finished with a failure certificate:
+  /// t is provably not in s's component (given a covering sequence).
+  bool certified_unreachable = false;
+  HybridWinner winner = HybridWinner::kCertifiedFailure;
+  std::uint64_t probabilistic_transmissions = 0;
+  std::uint64_t guaranteed_transmissions = 0;
+  std::uint64_t total_transmissions = 0;
+};
+
+/// Alternates probabilistic and guaranteed transmissions until the first
+/// of: the probabilistic token delivers; the guaranteed walk reaches t;
+/// the guaranteed walk terminates with a failure certificate.  A token
+/// that exhausts (TTL) simply stops being stepped — the guarantee side
+/// still terminates the protocol.
+HybridResult route_hybrid(TokenWalker& probabilistic,
+                          RouteSession& guaranteed);
+
+}  // namespace uesr::core

@@ -1,0 +1,169 @@
+#include "core/route.h"
+
+#include <stdexcept>
+
+namespace uesr::core {
+
+using explore::ExplorationSequence;
+using graph::NodeId;
+using graph::Port;
+using net::Direction;
+using net::Header;
+using net::Kind;
+using net::Status;
+
+NodeDecision route_node_step(const NodeView& node, Port in_port,
+                             const Header& header,
+                             const ExplorationSequence& seq) {
+  NodeDecision d;
+  d.header = header;
+  if (header.dir == Direction::kForward) {
+    // Arrival processing at the head of departure edge d_j, j = index.
+    const bool at_target = header.kind == Kind::kRoute &&
+                           node.original_name == header.target;
+    const bool exhausted = header.index >= seq.length();
+    if (at_target || exhausted) {
+      // Turn around: resend over the arrival port; index unchanged (the far
+      // side will undo step j).  Status records what happened.
+      d.header.dir = Direction::kBackward;
+      d.header.status = at_target ? Status::kSuccess : Status::kFailure;
+      d.out_port = in_port;
+      return d;
+    }
+    // Ordinary forward step: consume symbol j+1.
+    std::uint64_t next = header.index + 1;
+    d.header.index = next;
+    d.out_port = static_cast<Port>((in_port + seq.symbol(next)) % node.degree);
+    return d;
+  }
+  // Backward mode: we are at the tail of departure edge d_j, arrived on the
+  // port d_j departed from.  j == 0 means the walk is fully rewound: this
+  // node is s and the protocol returns its status.
+  if (header.index == 0) {
+    d.terminate = true;
+    d.final_status = header.status;
+    return d;
+  }
+  // Undo step j: the entry port of step j was (d_j.port - t_j) mod deg.
+  std::uint64_t j = header.index;
+  Port t = static_cast<Port>(seq.symbol(j) % node.degree);
+  d.out_port = static_cast<Port>((in_port + node.degree - t) % node.degree);
+  d.header.index = j - 1;
+  return d;
+}
+
+RouteSession::RouteSession(const explore::ReducedGraph& net,
+                           const ExplorationSequence& seq, NodeId s,
+                           NodeId t)
+    : net_(&net), seq_(&seq) {
+  const auto n_orig = static_cast<NodeId>(net.first_gadget.size());
+  if (s >= n_orig)
+    throw std::invalid_argument("RouteSession: source out of range");
+  if (t != net::kNoTarget && t >= n_orig)
+    throw std::invalid_argument("RouteSession: target out of range");
+  header_.kind = t == net::kNoTarget ? Kind::kBroadcast : Kind::kRoute;
+  header_.source = s;
+  header_.target = t;
+  start_gadget_ = net.entry_gadget(s);
+}
+
+NodeId RouteSession::current_original() const {
+  return injected_ ? net_->original_of[at_.node]
+                   : net_->original_of[start_gadget_];
+}
+
+void RouteSession::step() {
+  if (finished_) return;
+  const graph::Graph& g = net_->cubic;
+  if (!injected_) {
+    // Injection: s sends along d_0 = (start, port 0); consumes no symbol.
+    graph::HalfEdge far = g.rotate(start_gadget_, 0);
+    at_ = {far.node, far.port};
+    injected_ = true;
+    ++transmissions_;
+    if (header_.kind == Kind::kRoute &&
+        net_->original_of[at_.node] == header_.target) {
+      target_reached_ = true;
+      first_hit_step_ = 0;
+    }
+    return;
+  }
+  NodeView view{net_->original_of[at_.node], g.degree(at_.node)};
+  NodeDecision d = route_node_step(view, at_.port, header_, *seq_);
+  if (header_.dir == Direction::kForward &&
+      d.header.dir == Direction::kBackward) {
+    forward_steps_ = header_.index;
+    if (d.header.status == Status::kSuccess) {
+      target_reached_ = true;
+      first_hit_step_ = header_.index;
+    }
+  }
+  if (d.terminate) {
+    finished_ = true;
+    status_ = d.final_status;
+    return;
+  }
+  header_ = d.header;
+  graph::HalfEdge far = g.rotate(at_.node, d.out_port);
+  at_ = {far.node, far.port};
+  ++transmissions_;
+  if (header_.dir == Direction::kForward && header_.kind == Kind::kRoute &&
+      net_->original_of[at_.node] == header_.target && !target_reached_) {
+    target_reached_ = true;
+    first_hit_step_ = header_.index;
+  }
+}
+
+UesRouter::UesRouter(const explore::ReducedGraph& net,
+                     std::shared_ptr<const ExplorationSequence> seq,
+                     std::uint64_t namespace_size)
+    : net_(&net), seq_(std::move(seq)), namespace_size_(namespace_size) {
+  if (!seq_) throw std::invalid_argument("UesRouter: null sequence");
+  if (namespace_size_ < net.first_gadget.size())
+    throw std::invalid_argument(
+        "UesRouter: namespace smaller than the network");
+}
+
+RouteResult UesRouter::route(NodeId s, NodeId t) const {
+  const auto n_orig = static_cast<NodeId>(net_->first_gadget.size());
+  if (s >= n_orig || t >= n_orig)
+    throw std::invalid_argument("UesRouter::route: node out of range");
+  RouteResult out;
+  out.header_bits =
+      net::header_bits(Kind::kRoute, namespace_size_, seq_->length());
+  if (s == t) {  // degenerate: nothing to send
+    out.delivered = true;
+    return out;
+  }
+  RouteSession session(*net_, *seq_, s, t);
+  while (!session.finished()) session.step();
+  out.delivered = session.status() == Status::kSuccess;
+  out.forward_steps = session.forward_steps();
+  out.total_transmissions = session.transmissions();
+  out.first_hit_step = session.first_hit_step();
+  return out;
+}
+
+UesRouter::BroadcastResult UesRouter::broadcast(NodeId s) const {
+  const auto n_orig = static_cast<NodeId>(net_->first_gadget.size());
+  if (s >= n_orig)
+    throw std::invalid_argument("UesRouter::broadcast: node out of range");
+  BroadcastResult out;
+  out.visited_originals.assign(n_orig, false);
+  RouteSession session(*net_, *seq_, s, net::kNoTarget);
+  auto visit = [&](NodeId original) {
+    if (!out.visited_originals[original]) {
+      out.visited_originals[original] = true;
+      ++out.distinct_visited;
+    }
+  };
+  visit(s);
+  while (!session.finished()) {
+    session.step();
+    if (!session.finished()) visit(session.current_original());
+  }
+  out.total_transmissions = session.transmissions();
+  return out;
+}
+
+}  // namespace uesr::core

@@ -1,0 +1,161 @@
+#include "explore/certified.h"
+
+#include <stdexcept>
+
+#include "explore/degree_reduce.h"
+#include "graph/algorithms.h"
+#include "graph/catalog.h"
+#include "graph/generators.h"
+
+namespace uesr::explore {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::HalfEdge;
+using graph::NodeId;
+
+std::vector<Graph> tiny_cubic_multigraphs() {
+  std::vector<Graph> out;
+  // 1 vertex, three half loops.
+  {
+    GraphBuilder b(1);
+    b.add_half_loop(0);
+    b.add_half_loop(0);
+    b.add_half_loop(0);
+    out.push_back(std::move(b).build());
+  }
+  // 1 vertex, full loop + half loop.
+  {
+    GraphBuilder b(1);
+    b.add_edge(0, 0);
+    b.add_half_loop(0);
+    out.push_back(std::move(b).build());
+  }
+  // 2 vertices, triple edge (theta graph).
+  {
+    GraphBuilder b(2);
+    b.add_edge(0, 1);
+    b.add_edge(0, 1);
+    b.add_edge(0, 1);
+    out.push_back(std::move(b).build());
+  }
+  // 2 vertices, single edge + a half loop on each... needs degree 3:
+  // edge + two half loops per vertex.
+  {
+    GraphBuilder b(2);
+    b.add_edge(0, 1);
+    b.add_half_loop(0);
+    b.add_half_loop(0);
+    b.add_half_loop(1);
+    b.add_half_loop(1);
+    out.push_back(std::move(b).build());
+  }
+  // 2 vertices, "dumbbell": full loop on each + connecting edge.
+  {
+    GraphBuilder b(2);
+    b.add_edge(0, 0);
+    b.add_edge(1, 1);
+    b.add_edge(0, 1);
+    out.push_back(std::move(b).build());
+  }
+  // 2 vertices, double edge + one half loop each.
+  {
+    GraphBuilder b(2);
+    b.add_edge(0, 1);
+    b.add_edge(0, 1);
+    b.add_half_loop(0);
+    b.add_half_loop(1);
+    out.push_back(std::move(b).build());
+  }
+  // 3 vertices: triangle with a half loop on each vertex (degree reduction
+  // of an isolated vertex).
+  {
+    GraphBuilder b(3);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(2, 0);
+    b.add_half_loop(0);
+    b.add_half_loop(1);
+    b.add_half_loop(2);
+    out.push_back(std::move(b).build());
+  }
+  return out;
+}
+
+std::vector<Graph> certification_corpus(NodeId n, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("certification_corpus: n >= 1");
+  std::vector<Graph> corpus;
+  for (const Graph& g : tiny_cubic_multigraphs())
+    if (g.num_nodes() <= n) corpus.push_back(g);
+  for (NodeId m = 4; m <= n; m += 2)
+    for (Graph& g : graph::connected_cubic_graphs(m, seed))
+      corpus.push_back(std::move(g));
+  // Degree-reduction outputs of small graphs: the loop patterns routing
+  // actually traverses.
+  const std::vector<Graph> smalls = {
+      graph::path(2),  graph::path(3), graph::star(3), graph::cycle(3),
+      graph::complete(4)};
+  for (const Graph& g : smalls) {
+    ReducedGraph r = reduce_to_cubic(g);
+    if (r.cubic.num_nodes() <= n) corpus.push_back(std::move(r.cubic));
+  }
+  return corpus;
+}
+
+bool certify_sequence(const ExplorationSequence& seq, NodeId n,
+                      std::uint64_t seed, Certificate& out,
+                      std::uint64_t exhaustive_labeling_limit) {
+  out = Certificate{};
+  out.level = CertLevel::kExhaustive;
+  for (const Graph& g : certification_corpus(n, seed)) {
+    ++out.graphs_checked;
+    UniversalityReport rep;
+    if (labeling_count(g) <= exhaustive_labeling_limit) {
+      rep = check_universal_exhaustive(g, seq);
+    } else {
+      out.level = CertLevel::kAdversarial;
+      rep = check_universal_sampled(g, seq, 200, seed ^ 0xabcdef);
+      if (rep.universal) {
+        UniversalityReport adv =
+            check_universal_adversarial(g, seq, 200, seed ^ 0x123456);
+        rep.labelings_checked += adv.labelings_checked;
+        rep.walks_checked += adv.walks_checked;
+        rep.universal = adv.universal;
+        rep.witness = adv.witness;
+      }
+    }
+    out.labelings_checked += rep.labelings_checked;
+    out.walks_checked += rep.walks_checked;
+    if (!rep.universal) return false;
+  }
+  return true;
+}
+
+CertifiedUes find_certified_ues(NodeId n, std::uint64_t seed,
+                                std::uint64_t exhaustive_labeling_limit) {
+  // Start well below the default length so the certificate, not the
+  // safety margin, determines the final size.
+  std::uint64_t len = std::max<std::uint64_t>(16, 4ULL * n * n);
+  for (int doubling = 0; doubling < 24; ++doubling) {
+    auto cand =
+        std::make_shared<RandomExplorationSequence>(seed, len, n);
+    Certificate cert;
+    if (certify_sequence(*cand, n, seed, cert, exhaustive_labeling_limit)) {
+      // Materialize so the certificate refers to an immutable artifact.
+      std::vector<Symbol> symbols(len);
+      for (std::uint64_t i = 1; i <= len; ++i)
+        symbols[i - 1] = cand->symbol(i);
+      CertifiedUes out;
+      out.sequence = std::make_shared<FixedExplorationSequence>(
+          std::move(symbols), n,
+          "certified(n=" + std::to_string(n) + ",L=" + std::to_string(len) +
+              ")");
+      out.certificate = cert;
+      return out;
+    }
+    len *= 2;
+  }
+  throw std::runtime_error("find_certified_ues: no certified length found");
+}
+
+}  // namespace uesr::explore

@@ -1,0 +1,75 @@
+// Certified universal exploration sequences.
+//
+// Reingold's Theorem 4 supplies, for every n, a deterministically
+// constructed sequence T_n that is provably universal for 3-regular graphs
+// of size <= n.  Its constants are astronomically impractical (see
+// DESIGN.md), so this module produces concrete sequences whose universality
+// is *certified by enumeration* instead of by theorem:
+//
+//   corpus(n) = all isomorphism classes of connected simple cubic graphs
+//               with <= n vertices (exhaustive catalogue, self-checked
+//               against OEIS A002851)
+//             ∪ all tiny cubic multigraphs with loops/parallel edges
+//               (hand-enumerated for 1-2 vertices, plus the outputs of
+//               degree reduction on small graphs — precisely the loop
+//               patterns the router walks in practice)
+//
+// For each corpus member the candidate sequence is checked over every port
+// labelling and start edge when the labelling space is small enough
+// (exhaustive certificate), and over sampled + adversarial labellings
+// otherwise.  Candidates are drawn from the seeded pseudorandom family at
+// doubling lengths until one passes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "explore/sequence.h"
+#include "explore/universal.h"
+#include "graph/graph.h"
+
+namespace uesr::explore {
+
+/// All 3-regular multigraphs on 1 and 2 vertices (half loops, full loops,
+/// parallel edges), plus the 3-vertex triangle-with-half-loops that degree
+/// reduction produces for isolated vertices.
+std::vector<graph::Graph> tiny_cubic_multigraphs();
+
+/// The certification corpus for size n (see file comment).
+std::vector<graph::Graph> certification_corpus(graph::NodeId n,
+                                               std::uint64_t seed);
+
+enum class CertLevel {
+  kExhaustive,   ///< every labelling × every start edge, whole corpus
+  kAdversarial,  ///< sampled + hill-climbed labellings (graphs too big for
+                 ///  exhaustive labelling enumeration)
+};
+
+struct Certificate {
+  CertLevel level = CertLevel::kAdversarial;
+  std::uint64_t graphs_checked = 0;
+  std::uint64_t labelings_checked = 0;
+  std::uint64_t walks_checked = 0;
+};
+
+struct CertifiedUes {
+  std::shared_ptr<const ExplorationSequence> sequence;
+  Certificate certificate;
+};
+
+/// Smallest (by doubling) pseudorandom sequence certified universal for
+/// size n.  `exhaustive_labeling_limit` bounds the labelling space a graph
+/// may have to be checked exhaustively (default 6^6).
+CertifiedUes find_certified_ues(graph::NodeId n, std::uint64_t seed,
+                                std::uint64_t exhaustive_labeling_limit =
+                                    46656);
+
+/// Verifies an arbitrary sequence against the corpus; returns nullopt on
+/// refutation (with nothing else — use check_universal_* directly for the
+/// witness).
+bool certify_sequence(const ExplorationSequence& seq, graph::NodeId n,
+                      std::uint64_t seed, Certificate& out,
+                      std::uint64_t exhaustive_labeling_limit = 46656);
+
+}  // namespace uesr::explore

@@ -1,0 +1,79 @@
+#include "explore/degree_reduce.h"
+
+#include <stdexcept>
+
+namespace uesr::explore {
+
+using graph::HalfEdge;
+using graph::NodeId;
+using graph::Port;
+
+NodeId ReducedGraph::gadget(NodeId v, Port p) const {
+  if (v >= first_gadget.size())
+    throw std::invalid_argument("ReducedGraph::gadget: bad vertex");
+  if (p >= gadget_count[v])
+    throw std::invalid_argument("ReducedGraph::gadget: bad port");
+  return first_gadget[v] + p;
+}
+
+NodeId ReducedGraph::entry_gadget(NodeId v) const {
+  if (v >= first_gadget.size())
+    throw std::invalid_argument("ReducedGraph::entry_gadget: bad vertex");
+  return first_gadget[v];
+}
+
+bool ReducedGraph::belongs_to(NodeId gv, NodeId v) const {
+  if (gv >= original_of.size())
+    throw std::invalid_argument("ReducedGraph::belongs_to: bad gadget");
+  return original_of[gv] == v;
+}
+
+ReducedGraph reduce_to_cubic(const graph::Graph& g) {
+  ReducedGraph r;
+  const NodeId n = g.num_nodes();
+  r.first_gadget.resize(n);
+  r.gadget_count.resize(n);
+  NodeId total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    r.first_gadget[v] = total;
+    r.gadget_count[v] = std::max<NodeId>(g.degree(v), 3);
+    total += r.gadget_count[v];
+  }
+  r.original_of.resize(total);
+  for (NodeId v = 0; v < n; ++v)
+    for (NodeId j = 0; j < r.gadget_count[v]; ++j)
+      r.original_of[r.first_gadget[v] + j] = v;
+
+  std::vector<std::vector<HalfEdge>> adj(total, std::vector<HalfEdge>(3));
+  // Gadget cycles: port 1 of gadget j meets port 0 of gadget j+1 (mod c).
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId base = r.first_gadget[v];
+    NodeId c = r.gadget_count[v];
+    for (NodeId j = 0; j < c; ++j) {
+      NodeId cur = base + j;
+      NodeId nxt = base + (j + 1) % c;
+      adj[cur][1] = {nxt, 0};
+      adj[nxt][0] = {cur, 1};
+    }
+  }
+  // External edges: original port p of v is carried by gadget(v, p) port 2.
+  for (NodeId v = 0; v < n; ++v) {
+    Port d = g.degree(v);
+    for (Port p = 0; p < d; ++p) {
+      HalfEdge far = g.rotate(v, p);
+      NodeId mine = r.first_gadget[v] + p;
+      NodeId theirs = r.first_gadget[far.node] + far.port;
+      adj[mine][2] = {theirs, 2};  // involution holds: the far side writes
+                                   // the mirror entry when its turn comes
+    }
+    // Padding: unused external ports become half-loops.
+    for (NodeId j = d; j < r.gadget_count[v]; ++j) {
+      NodeId cur = r.first_gadget[v] + j;
+      adj[cur][2] = {cur, 2};
+    }
+  }
+  r.cubic = graph::from_rotation(std::move(adj));
+  return r;
+}
+
+}  // namespace uesr::explore

@@ -1,0 +1,58 @@
+#include "explore/sequence.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bitpack.h"
+
+namespace uesr::explore {
+
+RandomExplorationSequence::RandomExplorationSequence(std::uint64_t seed,
+                                                     std::uint64_t length,
+                                                     graph::NodeId target_size,
+                                                     Symbol alphabet)
+    : rng_(seed), length_(length), target_size_(target_size),
+      alphabet_(alphabet) {
+  if (alphabet_ == 0)
+    throw std::invalid_argument("RandomExplorationSequence: empty alphabet");
+}
+
+Symbol RandomExplorationSequence::symbol(std::uint64_t i) const {
+  if (i == 0 || i > length_)
+    throw std::out_of_range("RandomExplorationSequence::symbol: bad index");
+  return rng_.value_below(i, alphabet_);
+}
+
+std::string RandomExplorationSequence::name() const {
+  std::ostringstream os;
+  os << "pseudorandom(seed=" << rng_.seed() << ",n=" << target_size_
+     << ",L=" << length_ << ")";
+  return os.str();
+}
+
+FixedExplorationSequence::FixedExplorationSequence(std::vector<Symbol> symbols,
+                                                   graph::NodeId target_size,
+                                                   std::string name)
+    : symbols_(std::move(symbols)), target_size_(target_size),
+      name_(std::move(name)) {}
+
+Symbol FixedExplorationSequence::symbol(std::uint64_t i) const {
+  if (i == 0 || i > symbols_.size())
+    throw std::out_of_range("FixedExplorationSequence::symbol: bad index");
+  return symbols_[i - 1];
+}
+
+std::uint64_t default_ues_length(graph::NodeId n) {
+  if (n == 0) throw std::invalid_argument("default_ues_length: n == 0");
+  std::uint64_t nn = n;
+  std::uint64_t log = static_cast<std::uint64_t>(util::bits_for_value(n));
+  return std::max<std::uint64_t>(64, 24 * nn * nn * log);
+}
+
+std::shared_ptr<const ExplorationSequence> standard_ues(graph::NodeId n,
+                                                        std::uint64_t seed) {
+  return std::make_shared<RandomExplorationSequence>(
+      seed, default_ues_length(n), n);
+}
+
+}  // namespace uesr::explore

@@ -1,0 +1,108 @@
+// Exploration sequences (paper §2).
+//
+// An exploration sequence is a stream of integer "directions" t_1, t_2, …:
+// entering vertex v through port p, the walk leaves through port
+// (p + t_i) mod deg(v).  The central object of the paper is a *universal*
+// exploration sequence (UES) — one whose walk covers every connected
+// 3-regular graph of size <= n, for every port labelling and start edge
+// (Definition 3).
+//
+// The interface deliberately exposes only `symbol(i)` as a pure function of
+// the index: this models the log-space requirement of Theorem 4 — a node
+// holding just the O(log n)-bit index i can recompute t_i from scratch,
+// storing nothing else.  Implementations must be stateless and
+// deterministic.
+//
+// Families provided:
+//  * RandomExplorationSequence — seeded counter-based pseudorandom symbols.
+//    By the probabilistic argument in §2, almost every sequence of length
+//    O(n^2 log n) over {0,1,2} is universal for 3-regular graphs of size n;
+//    a fixed seed gives a concrete deterministic sequence that plays the
+//    role of Reingold's T_n at practical lengths.  (See DESIGN.md for the
+//    substitution record — Reingold's construction itself is reproduced in
+//    src/reingold as the derandomization engine.)
+//  * FixedExplorationSequence — explicit symbol vector; used for the
+//    exhaustively *certified* universal sequences over the cubic catalogue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace uesr::explore {
+
+/// Port offset; applied modulo the degree of the current vertex.
+using Symbol = std::uint32_t;
+
+class ExplorationSequence {
+ public:
+  virtual ~ExplorationSequence() = default;
+
+  /// Number of symbols; the routing algorithm walks exactly this many steps
+  /// before declaring failure.
+  virtual std::uint64_t length() const = 0;
+
+  /// The i-th symbol, 1-based (i in [1, length()]).  Pure and stateless:
+  /// the same i always yields the same symbol.
+  virtual Symbol symbol(std::uint64_t i) const = 0;
+
+  /// The graph size this sequence targets (it aims to cover all connected
+  /// 3-regular graphs with at most this many vertices).
+  virtual graph::NodeId target_size() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Deterministic pseudorandom sequence over {0, .., alphabet-1}.
+class RandomExplorationSequence final : public ExplorationSequence {
+ public:
+  RandomExplorationSequence(std::uint64_t seed, std::uint64_t length,
+                            graph::NodeId target_size, Symbol alphabet = 3);
+
+  std::uint64_t length() const override { return length_; }
+  Symbol symbol(std::uint64_t i) const override;
+  graph::NodeId target_size() const override { return target_size_; }
+  std::string name() const override;
+
+  std::uint64_t seed() const { return rng_.seed(); }
+
+ private:
+  util::CounterRng rng_;
+  std::uint64_t length_;
+  graph::NodeId target_size_;
+  Symbol alphabet_;
+};
+
+/// Explicit symbol vector.
+class FixedExplorationSequence final : public ExplorationSequence {
+ public:
+  FixedExplorationSequence(std::vector<Symbol> symbols,
+                           graph::NodeId target_size, std::string name);
+
+  std::uint64_t length() const override { return symbols_.size(); }
+  Symbol symbol(std::uint64_t i) const override;
+  graph::NodeId target_size() const override { return target_size_; }
+  std::string name() const override { return name_; }
+
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+
+ private:
+  std::vector<Symbol> symbols_;
+  graph::NodeId target_size_;
+  std::string name_;
+};
+
+/// Length of the library-default pseudorandom T_n: c * n^2 * (log2(n)+1),
+/// comfortably above the O(n^2)-ish random-walk cover time of 3-regular
+/// graphs cited in §2 [Feige '93, Lovász '96].
+std::uint64_t default_ues_length(graph::NodeId n);
+
+/// The library-default T_n used by the router when none is supplied.
+std::shared_ptr<const ExplorationSequence> standard_ues(
+    graph::NodeId n, std::uint64_t seed = 0x5eed0001);
+
+}  // namespace uesr::explore

@@ -1,0 +1,170 @@
+#include "explore/universal.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "explore/walker.h"
+#include "graph/algorithms.h"
+
+namespace uesr::explore {
+
+using graph::Graph;
+using graph::HalfEdge;
+using graph::NodeId;
+using graph::Port;
+
+bool covers_all_starts(const Graph& g, const ExplorationSequence& seq) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Port p = 0; p < g.degree(v); ++p)
+      if (!covers_component(g, {v, p}, seq)) return false;
+  return true;
+}
+
+std::uint64_t labeling_count(const Graph& g) {
+  std::uint64_t total = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::uint64_t f = 1;
+    for (Port k = 2; k <= g.degree(v); ++k) f *= k;
+    if (total > UINT64_MAX / std::max<std::uint64_t>(f, 1))
+      throw std::overflow_error("labeling_count: overflow");
+    total *= f;
+  }
+  return total;
+}
+
+bool for_each_labeling(const Graph& g,
+                       const std::function<bool(const Graph&)>& visit) {
+  const NodeId n = g.num_nodes();
+  // Odometer over per-vertex permutations, each enumerated via
+  // std::next_permutation from the identity.
+  std::vector<std::vector<Port>> perms(n);
+  for (NodeId v = 0; v < n; ++v) {
+    perms[v].resize(g.degree(v));
+    std::iota(perms[v].begin(), perms[v].end(), Port{0});
+  }
+  for (;;) {
+    if (!visit(g.relabeled(perms))) return false;
+    // Advance the odometer: next permutation at the lowest vertex; on wrap,
+    // carry to the next vertex.
+    NodeId v = 0;
+    while (v < n && !std::next_permutation(perms[v].begin(), perms[v].end()))
+      ++v;  // wrapped to identity; carry
+    if (v == n) return true;  // full cycle: every labelling visited
+  }
+}
+
+UniversalityReport check_universal_exhaustive(const Graph& g,
+                                              const ExplorationSequence& seq) {
+  UniversalityReport rep;
+  bool complete = for_each_labeling(g, [&](const Graph& labeled) {
+    ++rep.labelings_checked;
+    for (NodeId v = 0; v < labeled.num_nodes(); ++v)
+      for (Port p = 0; p < labeled.degree(v); ++p) {
+        ++rep.walks_checked;
+        if (!covers_component(labeled, {v, p}, seq)) {
+          rep.witness = FailureWitness{labeled, {v, p}};
+          return false;
+        }
+      }
+    return true;
+  });
+  rep.universal = complete;
+  return rep;
+}
+
+UniversalityReport check_universal_sampled(const Graph& g,
+                                           const ExplorationSequence& seq,
+                                           std::uint64_t samples,
+                                           std::uint64_t seed) {
+  UniversalityReport rep;
+  util::Pcg32 rng(seed);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    Graph labeled = g.randomly_relabeled(rng);
+    ++rep.labelings_checked;
+    for (NodeId v = 0; v < labeled.num_nodes(); ++v)
+      for (Port p = 0; p < labeled.degree(v); ++p) {
+        ++rep.walks_checked;
+        if (!covers_component(labeled, {v, p}, seq)) {
+          rep.witness = FailureWitness{labeled, {v, p}};
+          return rep;
+        }
+      }
+  }
+  rep.universal = true;
+  return rep;
+}
+
+namespace {
+
+/// Adversary's score for a labelling: worst (uncovered count, last cover
+/// step) over all start edges.  Bigger is worse for the sequence.
+std::pair<std::uint64_t, std::uint64_t> adversary_score(
+    const Graph& labeled, const ExplorationSequence& seq) {
+  std::uint64_t worst_uncovered = 0;
+  std::uint64_t worst_time = 0;
+  for (NodeId v = 0; v < labeled.num_nodes(); ++v)
+    for (Port p = 0; p < labeled.degree(v); ++p) {
+      auto ct = cover_time(labeled, {v, p}, seq);
+      if (!ct.has_value()) {
+        // Count how many vertices stay unvisited for this start.
+        auto tr = trace_walk(labeled, {v, p}, seq, seq.length());
+        std::uint64_t uncovered = 0;
+        auto comp = graph::component_of(labeled, v);
+        for (NodeId u : comp)
+          if (!tr.visited[u]) ++uncovered;
+        worst_uncovered = std::max(worst_uncovered, uncovered);
+        worst_time = seq.length() + 1;
+      } else {
+        worst_time = std::max(worst_time, *ct);
+      }
+    }
+  return {worst_uncovered, worst_time};
+}
+
+}  // namespace
+
+UniversalityReport check_universal_adversarial(const Graph& g,
+                                               const ExplorationSequence& seq,
+                                               std::uint64_t iterations,
+                                               std::uint64_t seed) {
+  UniversalityReport rep;
+  util::Pcg32 rng(seed);
+  constexpr int kRestarts = 4;
+  for (int restart = 0; restart < kRestarts; ++restart) {
+    Graph current = g.randomly_relabeled(rng);
+    auto score = adversary_score(current, seq);
+    ++rep.labelings_checked;
+    for (std::uint64_t it = 0; it < iterations / kRestarts; ++it) {
+      if (score.first > 0) {
+        // Found an uncovered labelling; locate a witness start edge.
+        for (NodeId v = 0; v < current.num_nodes(); ++v)
+          for (Port p = 0; p < current.degree(v); ++p)
+            if (!covers_component(current, {v, p}, seq)) {
+              rep.witness = FailureWitness{current, {v, p}};
+              return rep;
+            }
+      }
+      // Propose: re-randomize the permutation of one random vertex.
+      NodeId v = rng.next_below(g.num_nodes());
+      std::vector<std::vector<Port>> perms(current.num_nodes());
+      for (NodeId u = 0; u < current.num_nodes(); ++u) {
+        perms[u].resize(current.degree(u));
+        std::iota(perms[u].begin(), perms[u].end(), Port{0});
+      }
+      std::shuffle(perms[v].begin(), perms[v].end(), rng);
+      Graph proposal = current.relabeled(perms);
+      auto pscore = adversary_score(proposal, seq);
+      ++rep.labelings_checked;
+      rep.walks_checked += proposal.num_nodes() * 3;
+      if (pscore >= score) {  // plateau moves allowed: keeps search mobile
+        current = std::move(proposal);
+        score = pscore;
+      }
+    }
+  }
+  rep.universal = true;
+  return rep;
+}
+
+}  // namespace uesr::explore

@@ -1,0 +1,75 @@
+// Universality verification (Definition 3).
+//
+// A sequence is universal for size n if its walk covers every connected
+// 3-regular graph with <= n vertices, under EVERY port labelling and from
+// EVERY start edge.  This module provides three verification regimes:
+//
+//  * exhaustive  — enumerate all Π_v deg(v)! labellings and all start
+//    half-edges (feasible for graphs with ~<= 6 vertices: 6^6 ≈ 4.7e4);
+//  * sampled     — random labellings (statistical evidence at any size);
+//  * adversarial — stochastic hill-climbing over labellings trying to
+//    maximize the number of unvisited vertices (a much stronger refuter
+//    than uniform sampling in practice).
+//
+// A *certificate* for a sequence combines exhaustive checks over the small
+// cubic catalogue — including the multigraphs with loops and parallel edges
+// that degree reduction actually produces — with sampled/adversarial checks
+// beyond; see certified.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "explore/sequence.h"
+#include "graph/graph.h"
+
+namespace uesr::explore {
+
+/// True if the walk covers the component of every start half-edge of g
+/// (under g's own labelling).
+bool covers_all_starts(const graph::Graph& g, const ExplorationSequence& seq);
+
+/// Enumerates every port labelling of g (the product of per-vertex port
+/// permutations) and calls `visit`; stops early when visit returns false.
+/// Returns true iff the enumeration ran to completion.
+bool for_each_labeling(const graph::Graph& g,
+                       const std::function<bool(const graph::Graph&)>& visit);
+
+/// Number of labellings of g (Π_v deg(v)!); throws on overflow.
+std::uint64_t labeling_count(const graph::Graph& g);
+
+/// A concrete refutation: this labelled graph, from this start edge, is not
+/// covered by the sequence.
+struct FailureWitness {
+  graph::Graph labeled;
+  graph::HalfEdge start;
+};
+
+struct UniversalityReport {
+  bool universal = false;  ///< no counterexample found in the checked space
+  std::uint64_t labelings_checked = 0;
+  std::uint64_t walks_checked = 0;
+  std::optional<FailureWitness> witness;
+};
+
+/// Exhaustive over all labellings and all start edges of g.
+UniversalityReport check_universal_exhaustive(const graph::Graph& g,
+                                              const ExplorationSequence& seq);
+
+/// `samples` random labellings, all start edges each.
+UniversalityReport check_universal_sampled(const graph::Graph& g,
+                                           const ExplorationSequence& seq,
+                                           std::uint64_t samples,
+                                           std::uint64_t seed);
+
+/// Stochastic hill-climb over labellings: proposes single-vertex port
+/// permutation changes and keeps those that worsen coverage (more unvisited
+/// vertices; ties broken by later cover time).  Several restarts.
+UniversalityReport check_universal_adversarial(const graph::Graph& g,
+                                               const ExplorationSequence& seq,
+                                               std::uint64_t iterations,
+                                               std::uint64_t seed);
+
+}  // namespace uesr::explore

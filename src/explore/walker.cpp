@@ -1,0 +1,90 @@
+#include "explore/walker.h"
+
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+
+namespace uesr::explore {
+
+graph::HalfEdge forward_step(const graph::Graph& g, graph::HalfEdge d_j,
+                             Symbol t_next) {
+  graph::HalfEdge a = g.rotate(d_j.node, d_j.port);
+  graph::Port deg = g.degree(a.node);
+  return {a.node, (a.port + t_next) % deg};
+}
+
+graph::HalfEdge reverse_step(const graph::Graph& g, graph::HalfEdge d_j,
+                             Symbol t_j) {
+  graph::Port deg = g.degree(d_j.node);
+  // (port - t) mod deg without relying on signed arithmetic.
+  graph::Port entry = (d_j.port + deg - (t_j % deg)) % deg;
+  return g.rotate(d_j.node, entry);
+}
+
+WalkTrace trace_walk(const graph::Graph& g, graph::HalfEdge start,
+                     const ExplorationSequence& seq, std::uint64_t steps) {
+  if (start.node >= g.num_nodes() || start.port >= g.degree(start.node))
+    throw std::invalid_argument("trace_walk: bad start half-edge");
+  steps = std::min(steps, seq.length());
+  WalkTrace tr;
+  tr.visited.assign(g.num_nodes(), false);
+  auto visit = [&](graph::NodeId v) {
+    if (!tr.visited[v]) {
+      tr.visited[v] = true;
+      tr.first_visits.push_back(v);
+    }
+  };
+  graph::HalfEdge d = start;
+  visit(d.node);
+  tr.departures.reserve(steps + 1);
+  tr.departures.push_back(d);
+  // d_0 brings the walk to rot(d_0) before any symbol is consumed.
+  visit(g.rotate(d.node, d.port).node);
+  for (std::uint64_t j = 1; j <= steps; ++j) {
+    d = forward_step(g, d, seq.symbol(j));
+    tr.departures.push_back(d);
+    visit(g.rotate(d.node, d.port).node);
+  }
+  return tr;
+}
+
+graph::HalfEdge walk_position(const graph::Graph& g, graph::HalfEdge start,
+                              const ExplorationSequence& seq,
+                              std::uint64_t j) {
+  if (j > seq.length())
+    throw std::out_of_range("walk_position: j beyond sequence");
+  graph::HalfEdge d = start;
+  for (std::uint64_t i = 1; i <= j; ++i) d = forward_step(g, d, seq.symbol(i));
+  return d;
+}
+
+std::optional<std::uint64_t> cover_time(const graph::Graph& g,
+                                        graph::HalfEdge start,
+                                        const ExplorationSequence& seq) {
+  std::size_t need = graph::component_of(g, start.node).size();
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::size_t seen = 0;
+  auto visit = [&](graph::NodeId v) {
+    if (!visited[v]) {
+      visited[v] = true;
+      ++seen;
+    }
+  };
+  graph::HalfEdge d = start;
+  visit(d.node);
+  visit(g.rotate(d.node, d.port).node);
+  if (seen == need) return 0;
+  for (std::uint64_t j = 1; j <= seq.length(); ++j) {
+    d = forward_step(g, d, seq.symbol(j));
+    visit(g.rotate(d.node, d.port).node);
+    if (seen == need) return j;
+  }
+  return std::nullopt;
+}
+
+bool covers_component(const graph::Graph& g, graph::HalfEdge start,
+                      const ExplorationSequence& seq) {
+  return cover_time(g, start, seq).has_value();
+}
+
+}  // namespace uesr::explore

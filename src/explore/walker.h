@@ -1,0 +1,63 @@
+// The exploration walk and its reversal (paper §2).
+//
+// A walk is represented by its *departure half-edges*: d_j = (v, p) means
+// step j leaves vertex v through port p.  With arrival a_j = rot(d_j):
+//
+//   forward:  d_{j+1} = (a_j.node, (a_j.port + t_{j+1}) mod deg)
+//   reverse:  a_{j-1} = (d_j.node, (d_j.port - t_j)   mod deg),
+//             d_{j-1} = rot(a_{j-1})
+//
+// The reverse rule is the reversibility property the paper's backtracking
+// confirmation relies on; `reverse_step(forward_step(x)) == x` is pinned by
+// property tests across graphs, labellings, and sequences.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "explore/sequence.h"
+#include "graph/graph.h"
+
+namespace uesr::explore {
+
+/// One forward step: given the departure half-edge of step j and symbol
+/// t_{j+1}, the departure half-edge of step j+1.
+graph::HalfEdge forward_step(const graph::Graph& g, graph::HalfEdge d_j,
+                             Symbol t_next);
+
+/// One reverse step: given the departure half-edge of step j and symbol
+/// t_j, the departure half-edge of step j-1.
+graph::HalfEdge reverse_step(const graph::Graph& g, graph::HalfEdge d_j,
+                             Symbol t_j);
+
+struct WalkTrace {
+  /// Departure half-edges d_0 .. d_k (k = steps taken).
+  std::vector<graph::HalfEdge> departures;
+  /// Vertices in first-visit order; starts with the start vertex.
+  std::vector<graph::NodeId> first_visits;
+  /// visited[v] true iff the walk entered (or started at) v.
+  std::vector<bool> visited;
+};
+
+/// Follows `seq` from the start half-edge for `steps` steps (capped at
+/// seq.length()).  d_0 = start consumes no symbol; step j consumes t_j.
+WalkTrace trace_walk(const graph::Graph& g, graph::HalfEdge start,
+                     const ExplorationSequence& seq, std::uint64_t steps);
+
+/// The departure half-edge after exactly j steps (d_j), computed without
+/// storing the trace — the log-space replay a node performs.  j <= length.
+graph::HalfEdge walk_position(const graph::Graph& g, graph::HalfEdge start,
+                              const ExplorationSequence& seq, std::uint64_t j);
+
+/// First step count at which all vertices of the component of start.node
+/// are visited, or nullopt if the sequence is exhausted first.
+std::optional<std::uint64_t> cover_time(const graph::Graph& g,
+                                        graph::HalfEdge start,
+                                        const ExplorationSequence& seq);
+
+/// True if the walk visits every vertex of the component of start.node.
+bool covers_component(const graph::Graph& g, graph::HalfEdge start,
+                      const ExplorationSequence& seq);
+
+}  // namespace uesr::explore

@@ -1,0 +1,42 @@
+// Classic graph algorithms used as ground truth throughout tests and
+// benches: BFS distances, connected components, diameters.  The routing
+// algorithms under test are never allowed to use these (nodes are
+// stateless); they exist to *check* the routing algorithms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace uesr::graph {
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS hop distances from s; kUnreachable where no path exists.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId s);
+
+/// True if a path joins s and t (s == t counts as connected).
+bool has_path(const Graph& g, NodeId s, NodeId t);
+
+/// Vertices of the connected component containing s, in BFS order.
+std::vector<NodeId> component_of(const Graph& g, NodeId s);
+
+/// component_id[v] for every v, ids dense from 0 in order of discovery.
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+std::size_t num_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Exact diameter of the component of s (max BFS ecc over that component).
+/// Intended for small graphs (runs BFS from every vertex of the component).
+std::uint32_t component_diameter(const Graph& g, NodeId s);
+
+/// True if the graph contains no odd cycle (loops make a graph non-bipartite;
+/// a half-loop or full loop is an odd closed walk).
+bool is_bipartite(const Graph& g);
+
+}  // namespace uesr::graph

@@ -1,0 +1,129 @@
+#include "graph/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace uesr::graph {
+
+namespace {
+
+using Colors = std::vector<std::uint32_t>;
+
+std::uint32_t color_count(const Colors& colors) {
+  return colors.empty() ? 0 : *std::max_element(colors.begin(), colors.end()) + 1;
+}
+
+/// One pass of colour refinement; colours are re-indexed canonically by
+/// sorted signature so the result depends only on the input partition.
+Colors refine_once(const Graph& g, const Colors& colors) {
+  using Signature = std::pair<std::uint32_t, std::vector<std::uint32_t>>;
+  std::vector<Signature> sigs(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<std::uint32_t> nb;
+    nb.reserve(g.degree(v));
+    for (Port p = 0; p < g.degree(v); ++p)
+      nb.push_back(colors[g.neighbor(v, p)]);
+    std::sort(nb.begin(), nb.end());
+    sigs[v] = {colors[v], std::move(nb)};
+  }
+  std::map<Signature, std::uint32_t> ids;
+  for (const auto& s : sigs) ids.emplace(s, 0);
+  std::uint32_t next = 0;
+  for (auto& [sig, id] : ids) id = next++;
+  Colors out(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out[v] = ids[sigs[v]];
+  return out;
+}
+
+Colors refine(const Graph& g, Colors colors) {
+  for (;;) {
+    Colors next = refine_once(g, colors);
+    if (color_count(next) == color_count(colors)) return next;
+    colors = std::move(next);
+  }
+}
+
+/// Adjacency code under the discrete colouring (colour == new label):
+/// upper triangle (including diagonal) of the port-multiplicity matrix.
+CanonicalCode extract_code(const Graph& g, const Colors& colors) {
+  NodeId n = g.num_nodes();
+  std::vector<NodeId> inv(n);  // new label -> old vertex
+  for (NodeId v = 0; v < n; ++v) inv[colors[v]] = v;
+  CanonicalCode code;
+  code.reserve(static_cast<std::size_t>(n) * (n + 1) / 2);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i; j < n; ++j) {
+      NodeId v = inv[i], w = inv[j];
+      std::uint32_t mult = 0;
+      for (Port p = 0; p < g.degree(v); ++p)
+        if (g.neighbor(v, p) == w) ++mult;
+      code.push_back(mult);
+    }
+  }
+  return code;
+}
+
+void best_code(const Graph& g, const Colors& colors, CanonicalCode& best,
+               bool& have_best) {
+  // Find the first (lowest-colour) class with more than one vertex.
+  std::uint32_t k = color_count(colors);
+  std::vector<std::vector<NodeId>> classes(k);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) classes[colors[v]].push_back(v);
+  std::uint32_t target = k;
+  for (std::uint32_t c = 0; c < k; ++c)
+    if (classes[c].size() > 1) {
+      target = c;
+      break;
+    }
+  if (target == k) {
+    CanonicalCode code = extract_code(g, colors);
+    if (!have_best || code < best) {
+      best = std::move(code);
+      have_best = true;
+    }
+    return;
+  }
+  for (NodeId v : classes[target]) {
+    // Individualize v: give it a fresh colour class just below its own by
+    // shifting; concretely bump every colour >= target, then set v to target.
+    Colors branched(colors.size());
+    for (NodeId u = 0; u < g.num_nodes(); ++u)
+      branched[u] = colors[u] >= target ? colors[u] + 1 : colors[u];
+    branched[v] = target;
+    best_code(g, refine(g, std::move(branched)), best, have_best);
+  }
+}
+
+}  // namespace
+
+CanonicalCode canonical_code(const Graph& g) {
+  // Prefix with global invariants so codes of different sizes never compare
+  // equal by accident.
+  Colors colors = refine(g, Colors(g.num_nodes(), 0));
+  CanonicalCode best;
+  bool have_best = false;
+  best_code(g, colors, best, have_best);
+  CanonicalCode out;
+  out.push_back(g.num_nodes());
+  out.push_back(static_cast<std::uint32_t>(g.num_edges()));
+  out.insert(out.end(), best.begin(), best.end());
+  return out;
+}
+
+bool is_isomorphic(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges())
+    return false;
+  return canonical_code(a) == canonical_code(b);
+}
+
+std::uint64_t canonical_hash(const Graph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint32_t x : canonical_code(g)) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace uesr::graph

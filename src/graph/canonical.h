@@ -1,0 +1,33 @@
+// Canonical forms and isomorphism testing for small graphs.
+//
+// Implements individualization–refinement canonical labelling (the core idea
+// behind nauty, without its optimizations): refine a vertex colouring to
+// equitability, branch on the first non-singleton colour class, and take the
+// lexicographically least adjacency code over all branches.  Exponential in
+// the worst case but entirely adequate for the small cubic graphs the UES
+// certification catalogue works with (n <= 16).
+//
+// The code distinguishes parallel edges, full loops, and half loops (port
+// multiplicities at each vertex enter the encoding), but deliberately
+// ignores port *labels* — universality quantifies over all labellings, so
+// catalogue identity must be label-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace uesr::graph {
+
+/// Canonical adjacency code: equal codes iff isomorphic (as multigraphs).
+using CanonicalCode = std::vector<std::uint32_t>;
+
+CanonicalCode canonical_code(const Graph& g);
+
+bool is_isomorphic(const Graph& a, const Graph& b);
+
+/// 64-bit digest of the canonical code (for hash-based dedup).
+std::uint64_t canonical_hash(const Graph& g);
+
+}  // namespace uesr::graph

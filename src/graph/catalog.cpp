@@ -1,0 +1,82 @@
+#include "graph/catalog.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+#include "graph/canonical.h"
+#include "graph/generators.h"
+
+namespace uesr::graph {
+
+std::size_t known_cubic_count(NodeId n) {
+  switch (n) {
+    case 4:
+      return 1;
+    case 6:
+      return 2;
+    case 8:
+      return 5;
+    case 10:
+      return 19;
+    case 12:
+      return 85;
+    default:
+      throw std::invalid_argument("known_cubic_count: only n in {4..12 even}");
+  }
+}
+
+std::vector<Graph> connected_cubic_graphs(NodeId n, std::uint64_t seed,
+                                          std::size_t stall_limit) {
+  if (n < 4 || n % 2 != 0)
+    throw std::invalid_argument("connected_cubic_graphs: n even, >= 4");
+  std::map<CanonicalCode, Graph> classes;
+  auto offer = [&](const Graph& g) -> bool {
+    return classes.emplace(canonical_code(g), g).second;
+  };
+  // Seed with named graphs of matching size: guarantees the famous
+  // hard-to-sample members are present and exercises the dedup path.
+  if (n == 4) offer(k4());
+  if (n == 6) {
+    offer(k33());
+    offer(prism(3));
+  }
+  if (n == 8) {
+    offer(cube_q3());
+    offer(prism(4));
+  }
+  if (n == 10) {
+    offer(petersen());
+    offer(prism(5));
+  }
+  if (n == 12) offer(prism(6));
+
+  util::SplitMix64 seeder(seed);
+  std::size_t expected = 0;
+  try {
+    expected = known_cubic_count(n);
+  } catch (const std::invalid_argument&) {
+    expected = 0;  // unknown size: rely on the stall limit alone
+  }
+  std::size_t stall = 0;
+  // Hard cap keeps the routine total even if stall_limit is set absurdly.
+  for (std::size_t iter = 0; iter < 400000; ++iter) {
+    if (expected != 0 && classes.size() == expected) break;
+    if (expected == 0 && stall >= stall_limit) break;
+    Graph g = random_connected_regular(n, 3, seeder.next());
+    if (offer(g))
+      stall = 0;
+    else
+      ++stall;
+  }
+  if (expected != 0 && classes.size() != expected)
+    throw std::runtime_error(
+        "connected_cubic_graphs: sampling did not reach the known class "
+        "count; increase stall_limit");
+  std::vector<Graph> out;
+  out.reserve(classes.size());
+  for (auto& [code, g] : classes) out.push_back(std::move(g));
+  return out;
+}
+
+}  // namespace uesr::graph

@@ -1,0 +1,34 @@
+// Catalogue of connected simple cubic (3-regular) graphs.
+//
+// Universal exploration sequences are defined over *all* connected 3-regular
+// graphs of a given size (Definition 3 in the paper).  For small n the
+// isomorphism classes are few and completely known — OEIS A002851 gives
+// 1, 2, 5, 19, 85 classes for n = 4, 6, 8, 10, 12 — so universality of a
+// candidate sequence can be *certified exhaustively* by enumerating the
+// catalogue, all port labellings, and all start edges.
+//
+// The catalogue is materialized by seeded random sampling of the pairing
+// model with canonical-form dedup until the class set stabilizes; tests
+// assert the exact OEIS counts, which makes the construction self-checking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace uesr::graph {
+
+/// Number of isomorphism classes of connected simple cubic graphs on n
+/// vertices for n in {4, 6, 8, 10, 12} (OEIS A002851); throws otherwise.
+std::size_t known_cubic_count(NodeId n);
+
+/// All isomorphism classes of connected simple cubic graphs on n vertices
+/// (canonical representatives, deterministic order).  Sampling-based; stops
+/// after `stall_limit` consecutive samples discover no new class, then
+/// cross-checks against known_cubic_count when available and keeps sampling
+/// if classes are still missing.  Practical for n <= 12.
+std::vector<Graph> connected_cubic_graphs(NodeId n, std::uint64_t seed,
+                                          std::size_t stall_limit = 3000);
+
+}  // namespace uesr::graph

@@ -1,0 +1,140 @@
+#include "graph/geometric.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+
+namespace uesr::graph {
+
+double distance(const Point2& a, const Point2& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double distance(const Point3& a, const Point3& b) {
+  double dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+Positioned2 unit_disk_2d(NodeId n, double radius, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("unit_disk_2d: n >= 1");
+  if (radius <= 0.0) throw std::invalid_argument("unit_disk_2d: radius > 0");
+  util::Pcg32 rng(seed);
+  std::vector<Point2> pos(n);
+  for (auto& p : pos) p = {rng.next_double(), rng.next_double()};
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j)
+      if (distance(pos[i], pos[j]) <= radius) b.add_edge(i, j);
+  return {std::move(b).build(), std::move(pos)};
+}
+
+Positioned3 unit_disk_3d(NodeId n, double radius, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("unit_disk_3d: n >= 1");
+  if (radius <= 0.0) throw std::invalid_argument("unit_disk_3d: radius > 0");
+  util::Pcg32 rng(seed);
+  std::vector<Point3> pos(n);
+  for (auto& p : pos)
+    p = {rng.next_double(), rng.next_double(), rng.next_double()};
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j)
+      if (distance(pos[i], pos[j]) <= radius) b.add_edge(i, j);
+  return {std::move(b).build(), std::move(pos)};
+}
+
+Positioned2 connected_unit_disk_2d(NodeId n, double radius,
+                                   std::uint64_t seed) {
+  util::SplitMix64 seeder(seed);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    Positioned2 g = unit_disk_2d(n, radius, seeder.next());
+    if (is_connected(g.graph)) return g;
+  }
+  throw std::runtime_error("connected_unit_disk_2d: radius too small");
+}
+
+Positioned3 connected_unit_disk_3d(NodeId n, double radius,
+                                   std::uint64_t seed) {
+  util::SplitMix64 seeder(seed);
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    Positioned3 g = unit_disk_3d(n, radius, seeder.next());
+    if (is_connected(g.graph)) return g;
+  }
+  throw std::runtime_error("connected_unit_disk_3d: radius too small");
+}
+
+Positioned2 gabriel_subgraph(const Positioned2& in) {
+  const Graph& g = in.graph;
+  const auto& pos = in.positions;
+  GraphBuilder b(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (Port p = 0; p < g.degree(u); ++p) {
+      NodeId v = g.neighbor(u, p);
+      if (v <= u) continue;  // undirected: handle each edge once; skip loops
+      Point2 mid{(pos[u].x + pos[v].x) / 2.0, (pos[u].y + pos[v].y) / 2.0};
+      double r = distance(pos[u], pos[v]) / 2.0;
+      bool keep = true;
+      for (NodeId w = 0; w < g.num_nodes() && keep; ++w) {
+        if (w == u || w == v) continue;
+        // Strictly inside the diametral circle blocks the edge.
+        if (distance(pos[w], mid) < r * (1.0 - 1e-12)) keep = false;
+      }
+      if (keep) b.add_edge(u, v);
+    }
+  }
+  return {std::move(b).build(), pos};
+}
+
+namespace {
+
+int orientation(const Point2& a, const Point2& b, const Point2& c) {
+  double cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  constexpr double kEps = 1e-12;
+  if (cross > kEps) return 1;
+  if (cross < -kEps) return -1;
+  return 0;
+}
+
+bool on_segment(const Point2& a, const Point2& b, const Point2& p) {
+  return std::min(a.x, b.x) - 1e-12 <= p.x && p.x <= std::max(a.x, b.x) + 1e-12 &&
+         std::min(a.y, b.y) - 1e-12 <= p.y && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+/// Proper crossing test for segments ab, cd sharing no endpoint.
+bool segments_cross(const Point2& a, const Point2& b, const Point2& c,
+                    const Point2& d) {
+  int o1 = orientation(a, b, c), o2 = orientation(a, b, d);
+  int o3 = orientation(c, d, a), o4 = orientation(c, d, b);
+  if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0)
+    return true;
+  // Collinear overlap also counts as a crossing for planarity purposes.
+  if (o1 == 0 && on_segment(a, b, c)) return true;
+  if (o2 == 0 && on_segment(a, b, d)) return true;
+  if (o3 == 0 && on_segment(c, d, a)) return true;
+  if (o4 == 0 && on_segment(c, d, b)) return true;
+  return false;
+}
+
+}  // namespace
+
+bool is_plane_embedding(const Positioned2& in) {
+  const Graph& g = in.graph;
+  const auto& pos = in.positions;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (Port p = 0; p < g.degree(u); ++p) {
+      NodeId v = g.neighbor(u, p);
+      if (v > u) edges.push_back({u, v});
+    }
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      auto [a, b] = edges[i];
+      auto [c, d] = edges[j];
+      if (a == c || a == d || b == c || b == d) continue;
+      if (segments_cross(pos[a], pos[b], pos[c], pos[d])) return false;
+    }
+  return true;
+}
+
+}  // namespace uesr::graph

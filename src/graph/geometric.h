@@ -1,0 +1,62 @@
+// Geometric (position-based) network models.
+//
+// These are the workloads position-based routing was designed for and the
+// ones the paper's introduction contrasts against: unit-disk graphs in 2D
+// (where planarization + face routing guarantees delivery) and in 3D (where
+// no such local guarantee exists — Durocher, Kirkpatrick, Narayanan 2008 —
+// which is exactly the gap Theorem 1 closes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace uesr::graph {
+
+struct Point2 {
+  double x = 0.0, y = 0.0;
+};
+
+struct Point3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+double distance(const Point2& a, const Point2& b);
+double distance(const Point3& a, const Point3& b);
+
+/// A graph whose vertices carry 2D positions (sensor field).
+struct Positioned2 {
+  Graph graph;
+  std::vector<Point2> positions;
+};
+
+/// A graph whose vertices carry 3D positions (drone mesh / underwater).
+struct Positioned3 {
+  Graph graph;
+  std::vector<Point3> positions;
+};
+
+/// n points uniform in the unit square; edge iff distance <= radius.
+Positioned2 unit_disk_2d(NodeId n, double radius, std::uint64_t seed);
+
+/// n points uniform in the unit cube; edge iff distance <= radius.
+Positioned3 unit_disk_3d(NodeId n, double radius, std::uint64_t seed);
+
+/// Resamples until the unit-disk graph is connected.
+Positioned2 connected_unit_disk_2d(NodeId n, double radius,
+                                   std::uint64_t seed);
+Positioned3 connected_unit_disk_3d(NodeId n, double radius,
+                                   std::uint64_t seed);
+
+/// Gabriel subgraph: keep edge (u,v) iff the open disk with diameter uv
+/// contains no other vertex.  For unit-disk graphs the Gabriel subgraph is
+/// planar and connectivity-preserving — the standard planarization step of
+/// GFG/GPSR face routing.
+Positioned2 gabriel_subgraph(const Positioned2& in);
+
+/// True if no two edges of the (position-embedded) graph properly cross.
+/// O(m^2); intended for tests on moderate sizes.
+bool is_plane_embedding(const Positioned2& in);
+
+}  // namespace uesr::graph

@@ -1,0 +1,186 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace uesr::graph {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : adj_(num_nodes) {}
+
+NodeId GraphBuilder::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void GraphBuilder::check_node(NodeId v, const char* who) const {
+  if (v >= adj_.size())
+    throw std::invalid_argument(std::string(who) + ": node id out of range");
+}
+
+std::pair<HalfEdge, HalfEdge> GraphBuilder::add_edge(NodeId u, NodeId v) {
+  check_node(u, "add_edge");
+  check_node(v, "add_edge");
+  if (u == v) {
+    // Full loop: two ports on the same vertex pointing at each other.
+    Port p = static_cast<Port>(adj_[v].size());
+    adj_[v].push_back({v, p + 1});
+    adj_[v].push_back({v, p});
+    return {{v, p}, {v, p + 1}};
+  }
+  Port pu = static_cast<Port>(adj_[u].size());
+  Port pv = static_cast<Port>(adj_[v].size());
+  adj_[u].push_back({v, pv});
+  adj_[v].push_back({u, pu});
+  return {{u, pu}, {v, pv}};
+}
+
+HalfEdge GraphBuilder::add_half_loop(NodeId v) {
+  check_node(v, "add_half_loop");
+  Port p = static_cast<Port>(adj_[v].size());
+  adj_[v].push_back({v, p});
+  return {v, p};
+}
+
+Port GraphBuilder::degree(NodeId v) const {
+  check_node(v, "degree");
+  return static_cast<Port>(adj_[v].size());
+}
+
+Graph GraphBuilder::build() && {
+  Graph g;
+  g.adj_ = std::move(adj_);
+  g.recount_edges();
+  g.validate();
+  return g;
+}
+
+Port Graph::max_degree() const {
+  Port d = 0;
+  for (const auto& a : adj_) d = std::max<Port>(d, static_cast<Port>(a.size()));
+  return d;
+}
+
+Port Graph::min_degree() const {
+  if (adj_.empty()) return 0;
+  Port d = static_cast<Port>(adj_[0].size());
+  for (const auto& a : adj_) d = std::min<Port>(d, static_cast<Port>(a.size()));
+  return d;
+}
+
+bool Graph::is_regular(Port d) const {
+  return std::all_of(adj_.begin(), adj_.end(),
+                     [d](const auto& a) { return a.size() == d; });
+}
+
+Port Graph::port_to(NodeId v, NodeId u) const {
+  for (Port p = 0; p < degree(v); ++p)
+    if (adj_[v][p].node == u) return p;
+  throw std::invalid_argument("port_to: vertices not adjacent");
+}
+
+bool Graph::adjacent(NodeId v, NodeId u) const {
+  for (const HalfEdge& he : adj_[v])
+    if (he.node == u) return true;
+  return false;
+}
+
+std::vector<NodeId> Graph::neighbors(NodeId v) const {
+  std::vector<NodeId> out;
+  out.reserve(adj_[v].size());
+  for (const HalfEdge& he : adj_[v]) out.push_back(he.node);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void Graph::validate() const {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (Port p = 0; p < degree(v); ++p) {
+      HalfEdge far = adj_[v][p];
+      if (far.node >= num_nodes())
+        throw std::logic_error("Graph::validate: endpoint node out of range");
+      if (far.port >= degree(far.node))
+        throw std::logic_error("Graph::validate: endpoint port out of range");
+      HalfEdge back = adj_[far.node][far.port];
+      if (back != HalfEdge{v, p})
+        throw std::logic_error(
+            "Graph::validate: rotation map is not an involution");
+    }
+  }
+}
+
+void Graph::recount_edges() {
+  std::size_t half_edges = 0;
+  std::size_t half_loops = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    half_edges += adj_[v].size();
+    for (Port p = 0; p < degree(v); ++p)
+      if (is_half_loop(v, p)) ++half_loops;
+  }
+  // Every non-fixed-point half-edge pairs with exactly one other.
+  num_edges_ = (half_edges - half_loops) / 2 + half_loops;
+}
+
+Graph Graph::relabeled(const std::vector<std::vector<Port>>& perms) const {
+  if (perms.size() != adj_.size())
+    throw std::invalid_argument("relabeled: one permutation per vertex");
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (perms[v].size() != adj_[v].size())
+      throw std::invalid_argument("relabeled: permutation size != degree");
+    std::vector<bool> seen(perms[v].size(), false);
+    for (Port p : perms[v]) {
+      if (p >= perms[v].size() || seen[p])
+        throw std::invalid_argument("relabeled: not a permutation");
+      seen[p] = true;
+    }
+  }
+  Graph g;
+  g.adj_.assign(adj_.size(), {});
+  for (NodeId v = 0; v < num_nodes(); ++v)
+    g.adj_[v].resize(adj_[v].size());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (Port p = 0; p < degree(v); ++p) {
+      HalfEdge far = adj_[v][p];
+      g.adj_[v][perms[v][p]] = {far.node, perms[far.node][far.port]};
+    }
+  }
+  g.recount_edges();
+  g.validate();
+  return g;
+}
+
+Graph Graph::randomly_relabeled(util::Pcg32& rng) const {
+  std::vector<std::vector<Port>> perms(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    perms[v].resize(degree(v));
+    std::iota(perms[v].begin(), perms[v].end(), Port{0});
+    std::shuffle(perms[v].begin(), perms[v].end(), rng);
+  }
+  return relabeled(perms);
+}
+
+Graph from_edges(NodeId num_nodes,
+                 const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(num_nodes);
+  for (auto [u, v] : edges) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph from_rotation(std::vector<std::vector<HalfEdge>> adj) {
+  Graph g;
+  g.adj_ = std::move(adj);
+  g.recount_edges();
+  g.validate();
+  return g;
+}
+
+std::string describe(const Graph& g) {
+  std::ostringstream os;
+  os << "n=" << g.num_nodes() << " m=" << g.num_edges() << " deg=["
+     << g.min_degree() << "," << g.max_degree() << "]";
+  return os.str();
+}
+
+}  // namespace uesr::graph

@@ -1,0 +1,141 @@
+// Port-labelled undirected multigraph.
+//
+// This is the graph model of the paper (§2): every vertex v assigns its
+// incident edge-ends ("ports") the labels 0..deg(v)-1 in an arbitrary way,
+// and the labels at the two ends of an edge need not match.  Formally the
+// structure is a *rotation map*: an involution over half-edges
+//     rot(v, p) = (w, q)   with   rot(w, q) = (v, p).
+// Self-loops are supported in both conventions:
+//   * full loop  — occupies two ports of v: rot(v,p) = (v,q), p != q;
+//   * half loop  — a fixed point rot(v,p) = (v,p) (Reingold's convention);
+//     walking out of port p re-enters v on port p.
+// Parallel edges are allowed.
+//
+// A Graph is immutable after construction (build it with GraphBuilder);
+// relabelling — the operation universality quantifies over — produces a new
+// Graph.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace uesr::graph {
+
+using NodeId = std::uint32_t;
+using Port = std::uint32_t;
+
+/// One end of an edge: the (vertex, port) pair.
+struct HalfEdge {
+  NodeId node = 0;
+  Port port = 0;
+
+  friend auto operator<=>(const HalfEdge&, const HalfEdge&) = default;
+};
+
+class Graph;
+
+/// Mutable construction interface; `build()` validates and freezes.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+
+  /// Adds a node, returns its id.
+  NodeId add_node();
+
+  /// Adds an undirected edge using the next free port on each endpoint.
+  /// Returns the two half-edges created.  u == v creates a full loop.
+  std::pair<HalfEdge, HalfEdge> add_edge(NodeId u, NodeId v);
+
+  /// Adds a half-loop (rotation-map fixed point) on v; returns its half-edge.
+  HalfEdge add_half_loop(NodeId v);
+
+  Port degree(NodeId v) const;
+
+  /// Validates the rotation map and produces the immutable Graph.
+  Graph build() &&;
+
+ private:
+  std::vector<std::vector<HalfEdge>> adj_;
+  void check_node(NodeId v, const char* who) const;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+
+  /// Number of edges; a loop (full or half) counts as one edge.
+  std::size_t num_edges() const { return num_edges_; }
+
+  Port degree(NodeId v) const { return static_cast<Port>(adj_[v].size()); }
+  Port max_degree() const;
+  Port min_degree() const;
+  bool is_regular(Port d) const;
+
+  /// The rotation map: the half-edge at the far end of (v, p).
+  /// For a half-loop this is (v, p) itself.
+  HalfEdge rotate(NodeId v, Port p) const { return adj_[v][p]; }
+
+  /// The vertex reached when leaving v through port p.
+  NodeId neighbor(NodeId v, Port p) const { return adj_[v][p].node; }
+
+  bool is_half_loop(NodeId v, Port p) const {
+    return adj_[v][p] == HalfEdge{v, p};
+  }
+
+  /// Any port of v whose far end is u; throws if u is not adjacent to v.
+  /// With parallel edges the lowest such port is returned.
+  Port port_to(NodeId v, NodeId u) const;
+
+  /// True if some edge joins v and u (including v == u loops).
+  bool adjacent(NodeId v, NodeId u) const;
+
+  /// Distinct neighbours of v (excluding v itself unless it has a loop).
+  std::vector<NodeId> neighbors(NodeId v) const;
+
+  /// Checks the rotation-map involution; throws std::logic_error on
+  /// violation.  Called by GraphBuilder::build; public for tests.
+  void validate() const;
+
+  /// Returns a graph with ports renumbered: at each vertex v, old port p
+  /// becomes perms[v][p].  perms[v] must be a permutation of 0..deg(v)-1.
+  /// The edge set is unchanged — this is exactly the "any labelling" a
+  /// universal exploration sequence must survive.
+  Graph relabeled(const std::vector<std::vector<Port>>& perms) const;
+
+  /// Relabels every vertex with an independent uniformly random permutation.
+  Graph randomly_relabeled(util::Pcg32& rng) const;
+
+  friend bool operator==(const Graph&, const Graph&) = default;
+
+ private:
+  friend class GraphBuilder;
+  friend Graph from_rotation(std::vector<std::vector<HalfEdge>> adj);
+  std::vector<std::vector<HalfEdge>> adj_;
+  std::size_t num_edges_ = 0;
+
+  void recount_edges();
+};
+
+/// Convenience: build a graph from an explicit edge list over n nodes.
+/// Ports are assigned in list order.  Accepts loops (u == v, full loops).
+Graph from_edges(NodeId num_nodes,
+                 const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+/// Build a graph from a fully explicit rotation map: adj[v][p] is the far
+/// half-edge of (v, p).  Validates the involution.  This is the only way to
+/// construct rotation maps that sequential port assignment cannot express
+/// (e.g. parallel edges with crossed port orders).
+Graph from_rotation(std::vector<std::vector<HalfEdge>> adj);
+
+/// Human-readable one-line summary ("n=8 m=12 deg=[3,3]").
+std::string describe(const Graph& g);
+
+}  // namespace uesr::graph

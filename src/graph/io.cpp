@@ -1,0 +1,64 @@
+#include "graph/io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace uesr::graph {
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << "uesr-graph " << g.num_nodes() << "\n";
+  // One line per half-edge pair, emitted from the lexicographically smaller
+  // side; half loops emit themselves.  Exact rotation-map round trip.
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Port p = 0; p < g.degree(v); ++p) {
+      HalfEdge far = g.rotate(v, p);
+      if (HalfEdge{v, p} <= far)
+        os << v << " " << p << " " << far.node << " " << far.port << "\n";
+    }
+  return os.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  NodeId n = 0;
+  if (!(is >> magic >> n) || magic != "uesr-graph")
+    throw std::invalid_argument("from_edge_list: bad header");
+  std::vector<std::vector<HalfEdge>> adj(n);
+  NodeId v, w;
+  Port p, q;
+  auto place = [&](NodeId a, Port ap, HalfEdge far) {
+    if (a >= n) throw std::invalid_argument("from_edge_list: node out of range");
+    if (adj[a].size() <= ap) adj[a].resize(ap + 1, HalfEdge{a, Port(~0u)});
+    if (adj[a][ap].port != Port(~0u))
+      throw std::invalid_argument("from_edge_list: duplicate half-edge");
+    adj[a][ap] = far;
+  };
+  while (is >> v >> p >> w >> q) {
+    place(v, p, {w, q});
+    if (HalfEdge{v, p} != HalfEdge{w, q}) place(w, q, {v, p});
+  }
+  for (NodeId a = 0; a < n; ++a)
+    for (Port ap = 0; ap < adj[a].size(); ++ap)
+      if (adj[a][ap].port == Port(~0u))
+        throw std::invalid_argument("from_edge_list: port gap");
+  return from_rotation(std::move(adj));
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Port p = 0; p < g.degree(v); ++p) {
+      HalfEdge far = g.rotate(v, p);
+      if (g.is_half_loop(v, p))
+        os << "  " << v << " -- " << v << " [label=\"h\"];\n";
+      else if (HalfEdge{v, p} < far)
+        os << "  " << v << " -- " << far.node << ";\n";
+    }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace uesr::graph

@@ -1,0 +1,26 @@
+// Graph serialization: a small text edge-list format (round-trippable,
+// including half loops) and Graphviz DOT export for debugging/visualizing
+// example outputs.
+//
+// Edge-list format:
+//   line 1:  "uesr-graph <num_nodes>"
+//   then one line per edge: "u v" (u == v means a full loop)
+//   half loops:             "loop v"
+// Ports are assigned in file order, so a round trip reproduces the rotation
+// map exactly, not just the edge set.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace uesr::graph {
+
+std::string to_edge_list(const Graph& g);
+Graph from_edge_list(const std::string& text);
+
+/// Graphviz DOT (undirected); half loops rendered as self-edges labelled "h".
+std::string to_dot(const Graph& g, const std::string& name = "G");
+
+}  // namespace uesr::graph

@@ -1,0 +1,141 @@
+#include "graph/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace uesr::graph {
+
+DenseMatrix adjacency_matrix(const Graph& g) {
+  DenseMatrix m;
+  m.n = g.num_nodes();
+  m.a.assign(m.n * m.n, 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Port p = 0; p < g.degree(v); ++p) m.at(v, g.neighbor(v, p)) += 1.0;
+  return m;
+}
+
+DenseMatrix normalized_adjacency(const Graph& g) {
+  if (g.min_degree() == 0)
+    throw std::invalid_argument("normalized_adjacency: isolated vertex");
+  DenseMatrix m = adjacency_matrix(g);
+  std::vector<double> invsqrt(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    invsqrt[v] = 1.0 / std::sqrt(static_cast<double>(g.degree(v)));
+  for (std::size_t i = 0; i < m.n; ++i)
+    for (std::size_t j = 0; j < m.n; ++j)
+      m.at(i, j) *= invsqrt[i] * invsqrt[j];
+  return m;
+}
+
+std::vector<double> symmetric_eigenvalues(DenseMatrix m) {
+  const std::size_t n = m.n;
+  if (n == 0) return {};
+  // Cyclic Jacobi (Numerical Recipes formulation): rotate away off-diagonal
+  // mass until negligible.
+  constexpr double kTol = 1e-13;
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += m.at(i, j) * m.at(i, j);
+    if (off < kTol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double apq = m.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double theta = (m.at(q, q) - m.at(p, p)) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        double app = m.at(p, p), aqq = m.at(q, q);
+        m.at(p, p) = app - t * apq;
+        m.at(q, q) = aqq + t * apq;
+        m.at(p, q) = m.at(q, p) = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) continue;
+          double akp = m.at(k, p), akq = m.at(k, q);
+          m.at(k, p) = m.at(p, k) = c * akp - s * akq;
+          m.at(k, q) = m.at(q, k) = s * akp + c * akq;
+        }
+      }
+    }
+  }
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = m.at(i, i);
+  std::sort(eig.begin(), eig.end(), std::greater<double>());
+  return eig;
+}
+
+double lambda_exact(const Graph& g) {
+  if (g.num_nodes() < 2)
+    throw std::invalid_argument("lambda_exact: need >= 2 vertices");
+  if (!is_connected(g))
+    throw std::invalid_argument("lambda_exact: graph must be connected");
+  auto eig = symmetric_eigenvalues(normalized_adjacency(g));
+  // Largest eigenvalue of a connected graph's normalized adjacency is 1
+  // (simple); lambda is the max of |second largest| and |most negative|.
+  double second = eig.size() > 1 ? eig[1] : 0.0;
+  double least = eig.back();
+  return std::max(std::abs(second), std::abs(least));
+}
+
+double lambda_power(const Graph& g, int iterations, std::uint64_t seed) {
+  if (g.num_nodes() < 2)
+    throw std::invalid_argument("lambda_power: need >= 2 vertices");
+  if (g.min_degree() == 0)
+    throw std::invalid_argument("lambda_power: isolated vertex");
+  const NodeId n = g.num_nodes();
+  // Top eigenvector of M = D^{-1/2} A D^{-1/2} is proportional to sqrt(deg).
+  std::vector<double> top(n);
+  double norm = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    top[v] = std::sqrt(static_cast<double>(g.degree(v)));
+    norm += top[v] * top[v];
+  }
+  norm = std::sqrt(norm);
+  for (double& x : top) x /= norm;
+
+  util::Pcg32 rng(seed);
+  std::vector<double> x(n), y(n);
+  for (double& xi : x) xi = rng.next_double() - 0.5;
+  auto deflate = [&](std::vector<double>& v) {
+    double dot = 0.0;
+    for (NodeId i = 0; i < n; ++i) dot += v[i] * top[i];
+    for (NodeId i = 0; i < n; ++i) v[i] -= dot * top[i];
+  };
+  auto normalize = [&](std::vector<double>& v) {
+    double s = 0.0;
+    for (double vi : v) s += vi * vi;
+    s = std::sqrt(s);
+    if (s > 0) {
+      for (double& vi : v) vi /= s;
+    }
+    return s;
+  };
+  deflate(x);
+  normalize(x);
+  double lambda = 0.0;
+  std::vector<double> invsqrt(n);
+  for (NodeId v = 0; v < n; ++v)
+    invsqrt[v] = 1.0 / std::sqrt(static_cast<double>(g.degree(v)));
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      double xs = x[v] * invsqrt[v];
+      for (Port p = 0; p < g.degree(v); ++p) {
+        NodeId w = g.neighbor(v, p);
+        y[w] += xs * invsqrt[w];
+      }
+    }
+    deflate(y);
+    lambda = normalize(y);
+    std::swap(x, y);
+  }
+  return lambda;
+}
+
+}  // namespace uesr::graph

@@ -1,0 +1,48 @@
+// Spectral utilities: eigenvalues of the normalized adjacency operator.
+//
+// The Reingold engine (src/reingold) measures the spectral expansion
+// lambda(G) = second-largest |eigenvalue| of the random-walk-normalized
+// adjacency matrix; the zig-zag theorems are stated in terms of it.  Two
+// implementations are provided: exact dense Jacobi diagonalization for
+// small graphs (tests, base-expander search) and power iteration with
+// deflation for larger ones (trajectory probes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace uesr::graph {
+
+/// Dense symmetric matrix in row-major order.
+struct DenseMatrix {
+  std::size_t n = 0;
+  std::vector<double> a;  // n*n
+
+  double& at(std::size_t i, std::size_t j) { return a[i * n + j]; }
+  double at(std::size_t i, std::size_t j) const { return a[i * n + j]; }
+};
+
+/// Port-multiplicity adjacency matrix: A[v][w] = #ports of v leading to w.
+/// (A full loop contributes 2 to A[v][v], a half loop 1.)  Symmetric.
+DenseMatrix adjacency_matrix(const Graph& g);
+
+/// Normalized adjacency M = D^{-1/2} A D^{-1/2}; requires min degree >= 1.
+DenseMatrix normalized_adjacency(const Graph& g);
+
+/// All eigenvalues of a symmetric matrix, descending, via cyclic Jacobi.
+/// Intended for n <= ~300.
+std::vector<double> symmetric_eigenvalues(DenseMatrix m);
+
+/// lambda(G): the second-largest absolute eigenvalue of the normalized
+/// adjacency operator; exact (Jacobi).  Requires a connected graph with
+/// min degree >= 1 and n >= 2.
+double lambda_exact(const Graph& g);
+
+/// lambda(G) estimated by power iteration with deflation of the known top
+/// eigenvector (sqrt(deg)).  Suitable for large sparse graphs.
+double lambda_power(const Graph& g, int iterations = 400,
+                    std::uint64_t seed = 0x5eed);
+
+}  // namespace uesr::graph

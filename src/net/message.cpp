@@ -1,0 +1,39 @@
+#include "net/message.h"
+
+#include <stdexcept>
+
+#include "util/bitpack.h"
+
+namespace uesr::net {
+
+int header_bits(Kind kind, std::uint64_t namespace_size,
+                std::uint64_t sequence_length) {
+  if (namespace_size == 0)
+    throw std::invalid_argument("header_bits: empty namespace");
+  int name = util::bits_for_count(namespace_size);
+  int index = util::bits_for_value(sequence_length);
+  int base = 2 /*kind*/ + name /*source*/ + 1 /*dir*/ + 1 /*status*/ + index;
+  switch (kind) {
+    case Kind::kRoute:
+      return base + name;  // target
+    case Kind::kBroadcast:
+      return base;
+    case Kind::kRetrieve:
+      return base + index /*probe_steps*/ + name /*payload*/;
+    case Kind::kRetrieveNeighbor:
+      // + probe_port + phase + parked return_port (2 bits each at degree 3).
+      return base + index + 2 + 2 + 2 + name;
+  }
+  throw std::logic_error("header_bits: bad kind");
+}
+
+int node_working_bits(std::uint64_t namespace_size,
+                      std::uint64_t sequence_length) {
+  // Header + arrival port (2 bits at degree 3) + one port temporary +
+  // the counter the symbol oracle needs (index-width).
+  return header_bits(Kind::kRetrieveNeighbor, namespace_size,
+                     sequence_length) +
+         2 + 2 + util::bits_for_value(sequence_length);
+}
+
+}  // namespace uesr::net

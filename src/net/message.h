@@ -1,0 +1,75 @@
+// The message header of Algorithm Route (paper §3) and its bit accounting.
+//
+// The paper specifies the header as (s, t, dir, status, i): source name,
+// target name, one direction bit, one status bit, and the index into the
+// universal exploration sequence.  Everything else a node needs (the arrival
+// port, its own name, its degree) is local knowledge; nodes store NOTHING
+// between messages.
+//
+// `header_bits` computes the exact overhead for a namespace of size n and a
+// sequence of length L: 2*ceil(log2 n) + 2 + ceil(log2 (L+1)) bits.  Since
+// L = poly(n), this is O(log n) — the Theorem 1 overhead bound, which bench
+// E4 verifies numerically.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace uesr::net {
+
+enum class Direction : std::uint8_t { kForward, kBackward };
+enum class Status : std::uint8_t { kInProgress, kSuccess, kFailure };
+
+/// What kind of protocol interaction the message performs.  The paper's
+/// Route uses kRoute; §4's probes use kRetrieve/kRetrieveNeighbor; broadcast
+/// carries no target.
+enum class Kind : std::uint8_t {
+  kRoute,
+  kBroadcast,
+  kRetrieve,
+  kRetrieveNeighbor,
+};
+
+/// Sentinel for "no target" (broadcast).
+inline constexpr graph::NodeId kNoTarget = ~graph::NodeId{0};
+
+/// Sub-state of a RetrieveNeighbor probe's one-hop "peek" detour.
+enum class ProbePhase : std::uint8_t {
+  kNone,   ///< ordinary walking
+  kPeek,   ///< travelling out of v_i through probe_port, asking for a name
+  kReply,  ///< carrying the neighbour's name back to v_i
+};
+
+struct Header {
+  Kind kind = Kind::kRoute;
+  graph::NodeId source = 0;      ///< original name of s
+  graph::NodeId target = kNoTarget;  ///< original name of t (route only)
+  Direction dir = Direction::kForward;
+  Status status = Status::kInProgress;
+  std::uint64_t index = 0;       ///< symbols consumed so far (j)
+
+  // --- probe extensions (§4).  A Retrieve(s,T,i) probe walks forward
+  // `probe_steps` steps, snapshots the name it finds, and returns; a
+  // RetrieveNeighbor(s,T,i,j) probe additionally peeks through port
+  // `probe_port`.  Everything fits in O(log n) bits.
+  std::uint64_t probe_steps = 0;     ///< i: how far to walk before sampling
+  graph::Port probe_port = 0;        ///< j: which neighbour to sample
+  ProbePhase phase = ProbePhase::kNone;
+  graph::Port return_port = 0;   ///< arrival port of d_i, parked during peek
+  graph::NodeId payload_name = kNoTarget;  ///< the sampled name (reply)
+};
+
+/// Exact header size in bits for namespace size n and sequence length L.
+/// kind (2) + source + target + dir (1) + status (1) + index; probe fields
+/// reuse the index/target widths and are counted for probe kinds.
+int header_bits(Kind kind, std::uint64_t namespace_size,
+                std::uint64_t sequence_length);
+
+/// Working space a node needs while handling one message: the header, the
+/// arrival port, one port-width temporary, and the O(log n) scratch of the
+/// T_n[i] oracle evaluation.  Returned in bits.
+int node_working_bits(std::uint64_t namespace_size,
+                      std::uint64_t sequence_length);
+
+}  // namespace uesr::net

@@ -1,0 +1,17 @@
+#include "net/transport.h"
+
+#include <stdexcept>
+
+namespace uesr::net {
+
+Arrival Transport::send(graph::NodeId from, graph::Port out_port) {
+  if (from >= graph_->num_nodes())
+    throw std::invalid_argument("Transport::send: bad node");
+  if (out_port >= graph_->degree(from))
+    throw std::invalid_argument("Transport::send: bad port");
+  ++transmissions_;
+  graph::HalfEdge far = graph_->rotate(from, out_port);
+  return {far.node, far.port};
+}
+
+}  // namespace uesr::net

@@ -1,0 +1,44 @@
+// Port-accurate message transport over a static graph.
+//
+// The simulator enforces exactly the information a physical ad hoc node
+// has: when a frame arrives, the node knows which of its own ports (radio
+// interfaces / link-layer neighbours) it arrived on — and nothing else
+// about the topology.  `send` moves a message across one edge and reports
+// the far-end (node, arrival port); every call counts one transmission.
+//
+// The transport owns no per-node state whatsoever, mirroring the paper's
+// requirement that intermediate nodes store nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace uesr::net {
+
+struct Arrival {
+  graph::NodeId node = 0;
+  graph::Port port = 0;
+};
+
+class Transport {
+ public:
+  /// The graph must outlive the transport.
+  explicit Transport(const graph::Graph& g) : graph_(&g) {}
+
+  /// Transmit across the edge at (from, out_port); returns where the
+  /// message lands.  A half-loop delivers back to the sender on the same
+  /// port.  Counts one transmission.
+  Arrival send(graph::NodeId from, graph::Port out_port);
+
+  std::uint64_t transmissions() const { return transmissions_; }
+  void reset_transmissions() { transmissions_ = 0; }
+
+  const graph::Graph& graph() const { return *graph_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace uesr::net

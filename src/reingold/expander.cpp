@@ -1,0 +1,51 @@
+#include "reingold/expander.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/spectral.h"
+
+namespace uesr::reingold {
+
+double ramanujan_bound(std::uint32_t d) {
+  if (d < 2) throw std::invalid_argument("ramanujan_bound: d >= 2");
+  return 2.0 * std::sqrt(static_cast<double>(d) - 1.0) / d;
+}
+
+ExpanderInfo find_expander(std::uint64_t D, std::uint32_t d,
+                           std::uint64_t seed, int candidates) {
+  if (D < d + 1)
+    throw std::invalid_argument("find_expander: need D > d");
+  util::SplitMix64 seeder(seed);
+  ExpanderInfo best{DenseRotationMap(1, 1), 2.0};
+  bool have = false;
+  for (int c = 0; c < candidates; ++c) {
+    graph::Graph g;
+    try {
+      // The configuration model's rejection rate explodes past d ~ 5;
+      // switch-based sampling handles any degree.
+      auto n = static_cast<graph::NodeId>(D);
+      g = d <= 5 ? graph::random_connected_regular(n, d, seeder.next())
+                 : graph::random_connected_regular_switch(n, d,
+                                                          seeder.next());
+    } catch (const std::exception&) {
+      continue;  // parity or rejection issues at tiny sizes
+    }
+    if (graph::is_bipartite(g)) continue;  // lambda would be 1
+    double lambda = D <= 220 ? graph::lambda_exact(g)
+                             : graph::lambda_power(g, 500, seeder.next());
+    if (!have || lambda < best.lambda) {
+      best.rotation = DenseRotationMap::from_graph(g);
+      best.lambda = lambda;
+      have = true;
+    }
+  }
+  if (!have)
+    throw std::runtime_error(
+        "find_expander: no usable candidate (D*d parity? bipartite?)");
+  return best;
+}
+
+}  // namespace uesr::reingold

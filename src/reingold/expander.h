@@ -1,0 +1,32 @@
+// Base-expander search.
+//
+// Reingold's transform consumes a fixed (D, d, 1/2)-expander H.  At his
+// parameters (D = d^16) H exists by brute force; at laptop scale we find
+// good H by seeded random search: sample connected non-bipartite d-regular
+// graphs on D vertices and keep the one with the smallest measured
+// normalized second eigenvalue.  Random regular graphs are near-Ramanujan
+// (lambda ~ 2*sqrt(d-1)/d) with high probability, so a handful of samples
+// gets within a few percent of optimal.
+#pragma once
+
+#include <cstdint>
+
+#include "reingold/rotation_map.h"
+
+namespace uesr::reingold {
+
+struct ExpanderInfo {
+  DenseRotationMap rotation;
+  double lambda = 1.0;  ///< measured normalized second eigenvalue
+};
+
+/// Best of `candidates` random d-regular graphs on D vertices (connected,
+/// non-bipartite).  Deterministic per seed.
+ExpanderInfo find_expander(std::uint64_t D, std::uint32_t d,
+                           std::uint64_t seed, int candidates = 20);
+
+/// Ramanujan bound 2*sqrt(d-1)/d — the best lambda any d-regular graph
+/// family can approach; used to sanity-check search results.
+double ramanujan_bound(std::uint32_t d);
+
+}  // namespace uesr::reingold

@@ -1,0 +1,157 @@
+#include "reingold/products.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace uesr::reingold {
+
+namespace {
+
+class PowerOracle final : public RotationOracle {
+ public:
+  PowerOracle(std::shared_ptr<const RotationOracle> g, std::uint32_t k)
+      : g_(std::move(g)), k_(k) {
+    if (k_ == 0) throw std::invalid_argument("power: k == 0");
+    degree_ = 1;
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      if (degree_ > (std::uint32_t{1} << 30) / g_->degree())
+        throw std::invalid_argument("power: degree overflow");
+      degree_ *= g_->degree();
+    }
+  }
+
+  std::uint64_t num_vertices() const override { return g_->num_vertices(); }
+  std::uint32_t degree() const override { return degree_; }
+
+  Place rotate(Place p) const override {
+    const std::uint32_t D = g_->degree();
+    // Decode the walk labels a_1..a_k (little-endian base D).
+    std::vector<std::uint32_t> labels(k_);
+    std::uint32_t e = p.edge;
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      labels[i] = e % D;
+      e /= D;
+    }
+    // Walk, collecting the reverse labels b_1..b_k.
+    std::uint64_t v = p.vertex;
+    std::vector<std::uint32_t> back(k_);
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      Place q = g_->rotate({v, labels[i]});
+      v = q.vertex;
+      back[i] = q.edge;
+    }
+    // The reverse walk takes b_k, b_{k-1}, ..., b_1.
+    std::uint32_t rev = 0;
+    for (std::uint32_t i = 0; i < k_; ++i)
+      rev = rev * D + back[i];  // b_1 ends most significant -> b_k first
+    return {v, rev};
+  }
+
+ private:
+  std::shared_ptr<const RotationOracle> g_;
+  std::uint32_t k_;
+  std::uint32_t degree_;
+};
+
+class ZigzagOracle final : public RotationOracle {
+ public:
+  ZigzagOracle(std::shared_ptr<const RotationOracle> g,
+               std::shared_ptr<const RotationOracle> h)
+      : g_(std::move(g)), h_(std::move(h)) {
+    if (h_->num_vertices() != g_->degree())
+      throw std::invalid_argument("zigzag: |V(H)| must equal deg(G)");
+    if (h_->degree() > (1u << 15))
+      throw std::invalid_argument("zigzag: H degree too large");
+  }
+
+  std::uint64_t num_vertices() const override {
+    return g_->num_vertices() * g_->degree();
+  }
+  std::uint32_t degree() const override {
+    return h_->degree() * h_->degree();
+  }
+
+  Place rotate(Place p) const override {
+    const std::uint32_t D = g_->degree();
+    const std::uint32_t d = h_->degree();
+    std::uint64_t v = p.vertex / D;
+    std::uint32_t a = static_cast<std::uint32_t>(p.vertex % D);
+    std::uint32_t i = p.edge % d;
+    std::uint32_t j = p.edge / d;
+    // Zig: step inside the cloud.
+    Place z1 = h_->rotate({a, i});
+    std::uint32_t a1 = static_cast<std::uint32_t>(z1.vertex);
+    std::uint32_t i1 = z1.edge;
+    // Cross the G edge.
+    Place z2 = g_->rotate({v, a1});
+    std::uint64_t w = z2.vertex;
+    std::uint32_t b1 = z2.edge;
+    // Zag: step inside the far cloud.
+    Place z3 = h_->rotate({b1, j});
+    std::uint32_t b = static_cast<std::uint32_t>(z3.vertex);
+    std::uint32_t j1 = z3.edge;
+    // Reverse label is (j', i').
+    return {w * D + b, j1 + i1 * d};
+  }
+
+ private:
+  std::shared_ptr<const RotationOracle> g_;
+  std::shared_ptr<const RotationOracle> h_;
+};
+
+class ReplacementOracle final : public RotationOracle {
+ public:
+  ReplacementOracle(std::shared_ptr<const RotationOracle> g,
+                    std::shared_ptr<const RotationOracle> h)
+      : g_(std::move(g)), h_(std::move(h)) {
+    if (h_->num_vertices() != g_->degree())
+      throw std::invalid_argument("replacement: |V(H)| must equal deg(G)");
+  }
+
+  std::uint64_t num_vertices() const override {
+    return g_->num_vertices() * g_->degree();
+  }
+  std::uint32_t degree() const override { return h_->degree() + 1; }
+
+  Place rotate(Place p) const override {
+    const std::uint32_t D = g_->degree();
+    const std::uint32_t d = h_->degree();
+    std::uint64_t v = p.vertex / D;
+    std::uint32_t a = static_cast<std::uint32_t>(p.vertex % D);
+    if (p.edge < d) {
+      Place q = h_->rotate({a, p.edge});
+      return {v * D + q.vertex, q.edge};
+    }
+    Place q = g_->rotate({v, a});
+    return {q.vertex * D + q.edge, d};
+  }
+
+ private:
+  std::shared_ptr<const RotationOracle> g_;
+  std::shared_ptr<const RotationOracle> h_;
+};
+
+}  // namespace
+
+std::shared_ptr<RotationOracle> power(std::shared_ptr<const RotationOracle> g,
+                                      std::uint32_t k) {
+  return std::make_shared<PowerOracle>(std::move(g), k);
+}
+
+std::shared_ptr<RotationOracle> zigzag(
+    std::shared_ptr<const RotationOracle> g,
+    std::shared_ptr<const RotationOracle> h) {
+  return std::make_shared<ZigzagOracle>(std::move(g), std::move(h));
+}
+
+std::shared_ptr<RotationOracle> replacement(
+    std::shared_ptr<const RotationOracle> g,
+    std::shared_ptr<const RotationOracle> h) {
+  return std::make_shared<ReplacementOracle>(std::move(g), std::move(h));
+}
+
+std::shared_ptr<const RotationOracle> share(DenseRotationMap m) {
+  return std::make_shared<DenseRotationMap>(std::move(m));
+}
+
+}  // namespace uesr::reingold

@@ -1,0 +1,44 @@
+// Graph products on rotation maps: powering, zig-zag, replacement.
+//
+// These are the combinators of Reingold's transform (and of the
+// Reingold–Vadhan–Wigderson expander construction).  Each is provided as a
+// lazy RotationOracle — products compose recursively, and evaluating one
+// rotation of the product costs O(1) rotations of the factors, which is
+// exactly the log-space evaluation trick the paper's Theorem 4 rests on —
+// plus a materialization helper for small instances.
+//
+// Spectral facts the tests verify numerically:
+//   * lambda(G^k)      =  lambda(G)^k
+//   * lambda(G (z) H) <=  lambda(G) + lambda(H) + lambda(H)^2   [RVW Thm 4.3]
+//   * both preserve connectivity of the underlying graph.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "reingold/rotation_map.h"
+
+namespace uesr::reingold {
+
+/// k-th power: vertices unchanged, degree D^k; an edge is a k-step walk,
+/// labelled by the step sequence (little-endian in base D); the reverse
+/// label is the reversed sequence of reverse steps.
+std::shared_ptr<RotationOracle> power(std::shared_ptr<const RotationOracle> g,
+                                      std::uint32_t k);
+
+/// Zig-zag product G (z) H.  Requires |V(H)| == deg(G).  Result:
+/// N*D vertices ((v,a) encoded as v*D + a), degree d^2 (label (i,j)
+/// encoded i + j*d... see .cpp for the exact convention).
+std::shared_ptr<RotationOracle> zigzag(std::shared_ptr<const RotationOracle> g,
+                                       std::shared_ptr<const RotationOracle> h);
+
+/// Replacement product G (r) H: N*D vertices, degree d+1 (labels < d walk
+/// inside the H-cloud, label d crosses the G-edge).
+std::shared_ptr<RotationOracle> replacement(
+    std::shared_ptr<const RotationOracle> g,
+    std::shared_ptr<const RotationOracle> h);
+
+/// Convenience: wrap a dense map in a shared oracle.
+std::shared_ptr<const RotationOracle> share(DenseRotationMap m);
+
+}  // namespace uesr::reingold

@@ -1,0 +1,91 @@
+#include "reingold/rotation_map.h"
+
+#include <stdexcept>
+
+namespace uesr::reingold {
+
+DenseRotationMap::DenseRotationMap(std::uint64_t n, std::uint32_t d)
+    : n_(n), d_(d), rot_(n * d) {
+  if (d == 0) throw std::invalid_argument("DenseRotationMap: degree 0");
+  // Initialize as all self-loops; set() overwrites.
+  for (std::uint64_t v = 0; v < n; ++v)
+    for (std::uint32_t i = 0; i < d; ++i) rot_[v * d_ + i] = {v, i};
+}
+
+Place DenseRotationMap::rotate(Place p) const {
+  if (p.vertex >= n_ || p.edge >= d_)
+    throw std::out_of_range("DenseRotationMap::rotate: bad place");
+  return rot_[idx(p)];
+}
+
+void DenseRotationMap::set(Place a, Place b) {
+  if (a.vertex >= n_ || a.edge >= d_ || b.vertex >= n_ || b.edge >= d_)
+    throw std::out_of_range("DenseRotationMap::set: bad place");
+  rot_[idx(a)] = b;
+  rot_[idx(b)] = a;
+}
+
+void DenseRotationMap::validate() const {
+  for (std::uint64_t v = 0; v < n_; ++v)
+    for (std::uint32_t i = 0; i < d_; ++i) {
+      Place p{v, i};
+      Place q = rot_[idx(p)];
+      if (q.vertex >= n_ || q.edge >= d_)
+        throw std::logic_error("DenseRotationMap: place out of range");
+      if (rot_[idx(q)] != p)
+        throw std::logic_error("DenseRotationMap: not an involution");
+    }
+}
+
+DenseRotationMap DenseRotationMap::from_graph(const graph::Graph& g) {
+  std::uint32_t d = g.max_degree();
+  if (!g.is_regular(d))
+    throw std::invalid_argument("from_graph: graph not regular");
+  DenseRotationMap m(g.num_nodes(), d);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    for (graph::Port p = 0; p < d; ++p) {
+      graph::HalfEdge far = g.rotate(v, p);
+      m.set({v, p}, {far.node, far.port});
+    }
+  m.validate();
+  return m;
+}
+
+graph::Graph DenseRotationMap::to_graph() const {
+  std::vector<std::vector<graph::HalfEdge>> adj(n_);
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    adj[v].resize(d_);
+    for (std::uint32_t i = 0; i < d_; ++i) {
+      Place q = rot_[v * d_ + i];
+      adj[v][i] = {static_cast<graph::NodeId>(q.vertex), q.edge};
+    }
+  }
+  return graph::from_rotation(std::move(adj));
+}
+
+DenseRotationMap DenseRotationMap::materialize(const RotationOracle& o) {
+  DenseRotationMap m(o.num_vertices(), o.degree());
+  for (std::uint64_t v = 0; v < o.num_vertices(); ++v)
+    for (std::uint32_t i = 0; i < o.degree(); ++i) {
+      Place q = o.rotate({v, i});
+      m.rot_[m.idx({v, i})] = q;
+    }
+  m.validate();
+  return m;
+}
+
+DenseRotationMap pad_to_regular(const graph::Graph& g, std::uint32_t d) {
+  if (g.max_degree() > d)
+    throw std::invalid_argument("pad_to_regular: max degree exceeds d");
+  DenseRotationMap m(g.num_nodes(), d);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    for (graph::Port p = 0; p < g.degree(v); ++p) {
+      graph::HalfEdge far = g.rotate(v, p);
+      m.set({v, p}, {far.node, far.port});
+    }
+  // Remaining places stay initialized as self-loops.
+  m.validate();
+  return m;
+}
+
+}  // namespace uesr::reingold

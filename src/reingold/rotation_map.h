@@ -1,0 +1,78 @@
+// Rotation maps for regular graphs — the data structure of Reingold's
+// algorithm [8] and of the zig-zag machinery (Reingold–Vadhan–Wigderson).
+//
+// A D-regular rotation map is a permutation-involution
+//     Rot : [N] x [D] -> [N] x [D],   Rot(v, i) = (w, j)
+// meaning "the i-th edge of v leads to w, and is w's j-th edge".  Fixed
+// points (Rot(v,i) = (v,i)) are self-loops — the padding device Reingold
+// uses to regularize graphs.
+//
+// Two representations:
+//  * DenseRotationMap     — materialized flat array (fast, memory-bound);
+//  * RotationOracle       — an interface evaluating Rot on demand, which is
+//    how the log-space algorithm really works: products of oracles compose
+//    *recursively* without materializing the (astronomically large)
+//    product graphs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace uesr::reingold {
+
+struct Place {
+  std::uint64_t vertex = 0;
+  std::uint32_t edge = 0;
+
+  friend bool operator==(const Place&, const Place&) = default;
+};
+
+/// On-demand rotation evaluation.
+class RotationOracle {
+ public:
+  virtual ~RotationOracle() = default;
+  virtual std::uint64_t num_vertices() const = 0;
+  virtual std::uint32_t degree() const = 0;
+  virtual Place rotate(Place p) const = 0;
+};
+
+/// Materialized rotation map.
+class DenseRotationMap final : public RotationOracle {
+ public:
+  DenseRotationMap(std::uint64_t n, std::uint32_t d);
+
+  std::uint64_t num_vertices() const override { return n_; }
+  std::uint32_t degree() const override { return d_; }
+  Place rotate(Place p) const override;
+
+  void set(Place a, Place b);  ///< sets Rot(a)=b and Rot(b)=a
+
+  /// Verifies the involution property; throws std::logic_error otherwise.
+  void validate() const;
+
+  /// Builds from a d-regular port-labelled graph (loops allowed: a half
+  /// loop becomes a rotation fixed point).
+  static DenseRotationMap from_graph(const graph::Graph& g);
+
+  /// Converts back to a Graph (for spectral tools and tests).
+  graph::Graph to_graph() const;
+
+  /// Materializes any oracle (use only when n*d is small!).
+  static DenseRotationMap materialize(const RotationOracle& o);
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t d_;
+  std::vector<Place> rot_;
+
+  std::size_t idx(Place p) const { return p.vertex * d_ + p.edge; }
+};
+
+/// Regularization: pad an arbitrary graph to degree d with self-loops
+/// (requires max degree <= d).  This is Reingold's G_0 preparation step.
+DenseRotationMap pad_to_regular(const graph::Graph& g, std::uint32_t d);
+
+}  // namespace uesr::reingold

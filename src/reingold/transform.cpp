@@ -1,0 +1,117 @@
+#include "reingold/transform.h"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace uesr::reingold {
+
+void TransformParams::validate() const {
+  if (!h) throw std::invalid_argument("TransformParams: null H");
+  if (k == 0) throw std::invalid_argument("TransformParams: k == 0");
+  std::uint64_t want = 1;
+  for (std::uint32_t i = 0; i < 2 * k; ++i) want *= h->degree();
+  if (h->num_vertices() != want)
+    throw std::invalid_argument(
+        "TransformParams: need |V(H)| == deg(H)^(2k) so degrees telescope");
+}
+
+std::shared_ptr<const RotationOracle> transform_level(
+    std::shared_ptr<const RotationOracle> g, const TransformParams& params) {
+  params.validate();
+  if (g->degree() != params.h->num_vertices())
+    throw std::invalid_argument(
+        "transform_level: deg(G) must equal |V(H)|");
+  return power(zigzag(std::move(g), params.h), params.k);
+}
+
+std::vector<std::shared_ptr<const RotationOracle>> transform_ladder(
+    std::shared_ptr<const RotationOracle> g0, const TransformParams& params,
+    unsigned levels) {
+  std::vector<std::shared_ptr<const RotationOracle>> ladder{std::move(g0)};
+  for (unsigned i = 0; i < levels; ++i)
+    ladder.push_back(transform_level(ladder.back(), params));
+  return ladder;
+}
+
+double lambda_oracle(const RotationOracle& g, int iterations,
+                     std::uint64_t seed) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint32_t d = g.degree();
+  if (n < 2) throw std::invalid_argument("lambda_oracle: need >= 2 vertices");
+  util::Pcg32 rng(seed);
+  std::vector<double> x(n), y(n);
+  for (double& xi : x) xi = rng.next_double() - 0.5;
+  auto deflate = [&](std::vector<double>& v) {
+    double mean = 0.0;
+    for (double vi : v) mean += vi;
+    mean /= static_cast<double>(n);
+    for (double& vi : v) vi -= mean;  // uniform vector is the top eigvec
+  };
+  auto normalize = [&](std::vector<double>& v) {
+    double s = 0.0;
+    for (double vi : v) s += vi * vi;
+    s = std::sqrt(s);
+    if (s > 0)
+      for (double& vi : v) vi /= s;
+    return s;
+  };
+  deflate(x);
+  normalize(x);
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::uint64_t v = 0; v < n; ++v) {
+      double xv = x[v] / d;
+      for (std::uint32_t i = 0; i < d; ++i)
+        y[g.rotate({v, i}).vertex] += xv;
+    }
+    deflate(y);
+    lambda = normalize(y);
+    std::swap(x, y);
+  }
+  return lambda;
+}
+
+namespace {
+
+std::vector<std::uint32_t> oracle_bfs(const RotationOracle& g,
+                                      std::uint64_t from) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), ~0u);
+  std::deque<std::uint64_t> queue{from};
+  dist[from] = 0;
+  while (!queue.empty()) {
+    std::uint64_t v = queue.front();
+    queue.pop_front();
+    for (std::uint32_t i = 0; i < g.degree(); ++i) {
+      std::uint64_t w = g.rotate({v, i}).vertex;
+      if (dist[w] == ~0u) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+bool oracle_connected(const RotationOracle& g, std::uint64_t from,
+                      std::uint64_t to) {
+  if (from >= g.num_vertices() || to >= g.num_vertices())
+    throw std::invalid_argument("oracle_connected: vertex out of range");
+  return oracle_bfs(g, from)[to] != ~0u;
+}
+
+std::uint32_t oracle_eccentricity(const RotationOracle& g,
+                                  std::uint64_t from) {
+  auto dist = oracle_bfs(g, from);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist)
+    if (d != ~0u) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+}  // namespace uesr::reingold

@@ -1,0 +1,67 @@
+// Reingold's main transform and its instrumentation.
+//
+// The transform iterates   G_{i+1} = (G_i (z) H)^k   where H is a fixed
+// (D, d)-expander with D = d^(2k): the zig-zag product drops the degree to
+// d^2 (paying a bounded spectral loss) and the k-th power raises it back
+// to D while *squaring-per-factor* the spectral gap.  After O(log N)
+// levels the graph is a constant-gap expander, whose O(log N) diameter is
+// what makes log-space connectivity possible.
+//
+// Reingold's own constants (D = d^16, k = 8) are famously astronomical;
+// this module implements the transform exactly but is exercised at
+// laptop-scale parameters, with every structural invariant tested and the
+// spectral trajectory *measured* rather than assumed (bench E8).  See
+// DESIGN.md's substitution record.
+//
+// Measured facts the tests pin:
+//   * each level multiplies the vertex count by D and preserves degree D;
+//   * rotation maps stay involutions at every level;
+//   * connectivity is preserved level to level;
+//   * lambda(G^k) = lambda(G)^k and the RVW zig-zag bound hold numerically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "reingold/expander.h"
+#include "reingold/products.h"
+#include "reingold/rotation_map.h"
+
+namespace uesr::reingold {
+
+struct TransformParams {
+  std::shared_ptr<const RotationOracle> h;  ///< (D, d) base expander
+  std::uint32_t k = 2;                      ///< powering exponent
+
+  /// Checks D == d^(2k); throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+/// One transform level as a lazy oracle (O(k) factor-rotations per query).
+std::shared_ptr<const RotationOracle> transform_level(
+    std::shared_ptr<const RotationOracle> g, const TransformParams& params);
+
+/// `levels` applications starting from g0; element 0 is g0 itself.
+std::vector<std::shared_ptr<const RotationOracle>> transform_ladder(
+    std::shared_ptr<const RotationOracle> g0, const TransformParams& params,
+    unsigned levels);
+
+/// Normalized second eigenvalue of an oracle-backed regular graph,
+/// estimated by power iteration with deflation of the uniform vector.
+/// Costs iterations * N * D rotations — materialization-free but meant
+/// for moderate N * D.
+double lambda_oracle(const RotationOracle& g, int iterations = 300,
+                     std::uint64_t seed = 0x5eed);
+
+/// True iff place-b is reachable from place-a's vertex, by BFS over the
+/// oracle (used to verify connectivity preservation; NOT log-space — it is
+/// the ground-truth checker, not the algorithm).
+bool oracle_connected(const RotationOracle& g, std::uint64_t from,
+                      std::uint64_t to);
+
+/// Eccentricity of vertex `from` (max BFS distance within its component).
+std::uint32_t oracle_eccentricity(const RotationOracle& g,
+                                  std::uint64_t from);
+
+}  // namespace uesr::reingold

@@ -1,0 +1,33 @@
+// Minimal command-line flag parser for examples and bench binaries.
+// Supports `--name=value`, `--name value`, and boolean `--name` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uesr::util {
+
+class Cli {
+ public:
+  /// Parses argv.  Unknown flags are kept and reported via unknown_flags();
+  /// positional arguments are collected in order.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::string program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace uesr::util

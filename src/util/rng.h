@@ -1,0 +1,88 @@
+// Deterministic, seed-explicit random number generation.
+//
+// Everything in this library that uses randomness takes an explicit 64-bit
+// seed; there is no global RNG state (C++ Core Guidelines I.2).  Two engines
+// are provided:
+//
+//  * SplitMix64 — a tiny stateful engine used to seed/derive streams.
+//  * Pcg32      — the main stateful engine for simulations.
+//  * counter_hash / CounterRng — *stateless* draws: the k-th value is a pure
+//    function of (seed, k).  This mirrors the paper's requirement that the
+//    i-th symbol of an exploration sequence be recomputable on demand in
+//    O(log n) space, without storing the stream.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace uesr::util {
+
+/// SplitMix64 (Steele, Lea, Flood).  Passes BigCrush; used for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix: a high-quality 64-bit hash of (seed, counter).
+/// The same (seed, counter) pair always yields the same value.
+std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t counter);
+
+/// PCG32 (O'Neill): small, fast, statistically strong 32-bit generator.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  std::uint32_t next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased (rejection).
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// std::uniform_random_bit_generator interface (for std::shuffle etc.)
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Stateless counter-based generator: value(k) is a pure function of
+/// (seed, k).  Suitable for modelling log-space-recomputable streams.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t value(std::uint64_t k) const { return counter_hash(seed_, k); }
+
+  /// k-th draw reduced to [0, bound).  bound must be > 0.  The tiny modulo
+  /// bias (< 2^-32 for bound <= 2^32) is irrelevant for our uses.
+  std::uint32_t value_below(std::uint64_t k, std::uint32_t bound) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace uesr::util

@@ -1,0 +1,107 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uesr::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  if (values_.empty()) throw std::logic_error("Samples::min: empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) throw std::logic_error("Samples::max: empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) throw std::logic_error("Samples::percentile: empty");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("Samples::percentile: p out of [0,100]");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("linear_fit: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("linear_fit: need >= 2 points");
+  double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("linear_fit: zero x variance");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double e = ys[i] - (f.slope * xs[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys) {
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0)
+      throw std::invalid_argument("loglog_fit: inputs must be positive");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return linear_fit(lx, ly);
+}
+
+}  // namespace uesr::util

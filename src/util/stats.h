@@ -1,0 +1,67 @@
+// Small statistics toolkit used by tests and benches: online moments,
+// percentiles over stored samples, and least-squares fits (notably log-log
+// slope fits, which the scaling experiments use to estimate polynomial
+// exponents).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace uesr::util {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator). 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with percentile queries (stores all samples).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// p in [0,100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+/// Requires xs.size() == ys.size() >= 2 and nonzero x variance.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Fit y = C * x^slope by OLS in log-log space.  All inputs must be > 0.
+/// The slope estimates the polynomial exponent of a scaling law.
+LinearFit loglog_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace uesr::util

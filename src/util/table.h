@@ -1,0 +1,50 @@
+// Markdown/CSV table emitter for the benchmark harness.  Every experiment
+// binary prints its results as a table whose rows mirror the experiment
+// index in DESIGN.md, so bench output can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace uesr::util {
+
+/// Column-aligned table.  Cells are strings; helpers format numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.  Calls to `cell` fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(bool value);
+
+  /// Any integer type.
+  template <typename T>
+    requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+  Table& cell(T value) {
+    return cell(std::to_string(value));
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// GitHub-flavoured markdown rendering with aligned pipes.
+  std::string to_markdown() const;
+  /// RFC-4180-ish CSV (no quoting of commas; our cells never contain them).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision, trimming trailing zeros.
+std::string format_double(double value, int precision);
+
+}  // namespace uesr::util

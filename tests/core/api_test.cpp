@@ -1,0 +1,105 @@
+#include "core/api.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace uesr::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(AdHocNetwork, RouteOnDefaultOptions) {
+  Graph g = graph::grid(4, 5);
+  AdHocNetwork net(g);
+  auto r = net.route(0, 19);
+  EXPECT_TRUE(r.delivered);
+}
+
+TEST(AdHocNetwork, ReachabilityGroundTruthSweep) {
+  Graph g = graph::from_edges(8, {{0, 1}, {1, 2}, {2, 3}, {5, 6}, {6, 7}});
+  AdHocNetwork net(g);
+  for (NodeId s = 0; s < g.num_nodes(); ++s)
+    for (NodeId t = 0; t < g.num_nodes(); ++t)
+      EXPECT_EQ(net.route(s, t).delivered, graph::has_path(g, s, t))
+          << s << "->" << t;
+}
+
+TEST(AdHocNetwork, BroadcastMatchesComponent) {
+  Graph g = graph::from_edges(6, {{0, 1}, {1, 2}, {4, 5}});
+  AdHocNetwork net(g);
+  auto b = net.broadcast(1);
+  EXPECT_EQ(b.distinct_visited, 3u);
+}
+
+TEST(AdHocNetwork, CountComponentMatchesBfs) {
+  Graph g = graph::gnp(18, 0.15, 21);
+  AdHocNetwork net(g);
+  auto c = net.count_component(0);
+  EXPECT_EQ(c.original_count, graph::component_of(g, 0).size());
+}
+
+TEST(AdHocNetwork, AdaptiveRouteNoPriorKnowledge) {
+  Graph g = graph::from_edges(7, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {5, 6}});
+  AdHocNetwork net(g);
+  auto ok = net.route_adaptive(0, 3);
+  EXPECT_TRUE(ok.route.delivered);
+  EXPECT_EQ(ok.census.original_count, 4u);
+  auto fail = net.route_adaptive(0, 6);
+  EXPECT_FALSE(fail.route.delivered);  // certified: census covered Cs
+}
+
+TEST(AdHocNetwork, AdaptiveSequenceSizedByCensus) {
+  // The adaptive route must use a sequence sized for the *component*, not
+  // the whole graph — that is the "poly(|Cs|), no need to know n" claim.
+  Graph g = graph::from_edges(40, [] {
+    std::vector<std::pair<NodeId, NodeId>> e;
+    // Component A: triangle 0-1-2; the rest is a long path 3..39.
+    e.push_back({0, 1});
+    e.push_back({1, 2});
+    e.push_back({2, 0});
+    for (NodeId v = 3; v + 1 < 40; ++v) e.push_back({v, v + 1});
+    return e;
+  }());
+  AdHocNetwork net(g);
+  auto r = net.route_adaptive(0, 1);
+  EXPECT_TRUE(r.route.delivered);
+  EXPECT_EQ(r.census.gadget_count, 9u);  // 3 originals x 3 gadgets
+}
+
+TEST(AdHocNetwork, CustomSequenceOverride) {
+  Graph g = graph::cycle(4);
+  Options opt;
+  opt.sequence = explore::standard_ues(64, 99);
+  AdHocNetwork net(g, opt);
+  EXPECT_EQ(&net.router().sequence(), opt.sequence.get());
+  EXPECT_TRUE(net.route(0, 2).delivered);
+}
+
+TEST(AdHocNetwork, NamespaceSizeDefaultsToGadgets) {
+  Graph g = graph::cycle(5);
+  AdHocNetwork net(g);
+  EXPECT_EQ(net.options().namespace_size, 15u);
+}
+
+TEST(AdHocNetwork, SizeBoundOption) {
+  Graph g = graph::path(4);
+  Options opt;
+  opt.size_bound = 64;
+  AdHocNetwork net(g, opt);
+  EXPECT_EQ(net.router().sequence().target_size(), 64u);
+  EXPECT_TRUE(net.route(0, 3).delivered);
+}
+
+TEST(AdHocNetwork, SingleNodeGraph) {
+  Graph g = graph::GraphBuilder(1).build();
+  AdHocNetwork net(g);
+  EXPECT_TRUE(net.route(0, 0).delivered);
+  auto c = net.count_component(0);
+  EXPECT_EQ(c.original_count, 1u);
+}
+
+}  // namespace
+}  // namespace uesr::core

@@ -1,0 +1,173 @@
+#include "core/count_nodes.h"
+
+#include <gtest/gtest.h>
+
+#include "explore/walker.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace uesr::core {
+namespace {
+
+using explore::ReducedGraph;
+using explore::reduce_to_cubic;
+using graph::Graph;
+using graph::NodeId;
+
+SequenceFactory tiny_family(std::uint64_t seed) {
+  // Short quadratic sequences keep the O(L^3) faithful mode affordable.
+  return [seed](NodeId bound) {
+    std::uint64_t len = std::max<std::uint64_t>(16, 4ULL * bound * bound);
+    return std::make_shared<explore::RandomExplorationSequence>(
+        seed ^ (31ULL * bound), len, bound);
+  };
+}
+
+TEST(Probes, RetrieveWalksAndReturns) {
+  Graph g = graph::cycle(4);
+  ReducedGraph net = reduce_to_cubic(g);
+  auto seq = explore::standard_ues(net.cubic.num_nodes(), 1);
+  std::uint64_t tx = 0;
+  // v_0 is the head of d_0 = rotate(entry_gadget(0), 0).
+  NodeId v0 = retrieve(net, *seq, 0, 0, tx);
+  EXPECT_EQ(v0, net.cubic.rotate(net.entry_gadget(0), 0).node);
+  EXPECT_EQ(tx, 2u);  // out and back
+}
+
+TEST(Probes, RetrieveCostIsLinearInIndex) {
+  Graph g = graph::cycle(5);
+  ReducedGraph net = reduce_to_cubic(g);
+  auto seq = explore::standard_ues(net.cubic.num_nodes(), 2);
+  for (std::uint64_t i : {0ULL, 1ULL, 7ULL, 20ULL}) {
+    std::uint64_t tx = 0;
+    retrieve(net, *seq, 0, i, tx);
+    EXPECT_EQ(tx, 2 * (i + 1)) << "i=" << i;
+  }
+}
+
+TEST(Probes, RetrieveMatchesCentralTrace) {
+  Graph g = graph::petersen();
+  ReducedGraph net = reduce_to_cubic(g);
+  auto seq = explore::standard_ues(16, 3);
+  auto trace = explore::trace_walk(net.cubic, {net.entry_gadget(0), 0}, *seq,
+                                   50);
+  for (std::uint64_t i = 0; i <= 50; ++i) {
+    std::uint64_t tx = 0;
+    NodeId v = retrieve(net, *seq, 0, i, tx);
+    auto d = trace.departures[i];
+    EXPECT_EQ(v, net.cubic.rotate(d.node, d.port).node) << "i=" << i;
+  }
+}
+
+TEST(Probes, RetrieveNeighborSamplesCorrectPort) {
+  Graph g = graph::cycle(4);
+  ReducedGraph net = reduce_to_cubic(g);
+  auto seq = explore::standard_ues(net.cubic.num_nodes(), 4);
+  std::uint64_t tx0 = 0;
+  NodeId v3 = retrieve(net, *seq, 0, 3, tx0);
+  for (graph::Port j = 0; j < 3; ++j) {
+    std::uint64_t tx = 0;
+    NodeId u = retrieve_neighbor(net, *seq, 0, 3, j, tx);
+    EXPECT_EQ(u, net.cubic.rotate(v3, j).node);
+    EXPECT_EQ(tx, 2 * 4 + 2u);  // retrieve cost + peek + reply
+  }
+}
+
+TEST(Probes, RetrieveNeighborThroughHalfLoopReturnsSelf) {
+  Graph g = graph::path(2);  // gadgets padded with half loops
+  ReducedGraph net = reduce_to_cubic(g);
+  auto seq = explore::standard_ues(net.cubic.num_nodes(), 5);
+  // Find a walk index whose head has a half loop on port 2.
+  for (std::uint64_t i = 0; i <= 20; ++i) {
+    std::uint64_t tx = 0;
+    NodeId v = retrieve(net, *seq, 0, i, tx);
+    if (net.cubic.is_half_loop(v, 2)) {
+      std::uint64_t tx2 = 0;
+      EXPECT_EQ(retrieve_neighbor(net, *seq, 0, i, 2, tx2), v);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no half-loop head in the first 20 steps";
+}
+
+TEST(Probes, Validation) {
+  Graph g = graph::cycle(4);
+  ReducedGraph net = reduce_to_cubic(g);
+  explore::FixedExplorationSequence seq({1, 2}, 4, "short");
+  std::uint64_t tx = 0;
+  EXPECT_THROW(retrieve(net, seq, 0, 3, tx), std::invalid_argument);
+  EXPECT_THROW(retrieve_neighbor(net, seq, 0, 1, 5, tx),
+               std::invalid_argument);
+}
+
+TEST(CountNodes, FastMatchesGroundTruthOnSmallGraphs) {
+  for (const Graph& g :
+       {graph::path(3), graph::cycle(4), graph::star(3), graph::k4(),
+        graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}})}) {
+    ReducedGraph net = reduce_to_cubic(g);
+    auto res = count_nodes(net, 0, tiny_family(1), CountMode::kFast);
+    EXPECT_EQ(res.gadget_count,
+              graph::component_of(net.cubic, net.entry_gadget(0)).size())
+        << graph::describe(g);
+    EXPECT_EQ(res.original_count, graph::component_of(g, 0).size())
+        << graph::describe(g);
+  }
+}
+
+TEST(CountNodes, FaithfulMatchesFastExactly) {
+  for (const Graph& g : {graph::path(2), graph::cycle(3), graph::path(3)}) {
+    ReducedGraph net = reduce_to_cubic(g);
+    auto fast = count_nodes(net, 0, tiny_family(2), CountMode::kFast);
+    auto faithful = count_nodes(net, 0, tiny_family(2), CountMode::kFaithful);
+    EXPECT_EQ(fast.gadget_count, faithful.gadget_count);
+    EXPECT_EQ(fast.original_count, faithful.original_count);
+    EXPECT_EQ(fast.epochs, faithful.epochs);
+    EXPECT_EQ(fast.probes, faithful.probes);
+    EXPECT_EQ(fast.transmissions, faithful.transmissions);
+  }
+}
+
+TEST(CountNodes, IsolatedSourceCountsItself) {
+  Graph g = graph::from_edges(3, {{0, 1}});  // 2 isolated
+  ReducedGraph net = reduce_to_cubic(g);
+  auto res = count_nodes(net, 2, tiny_family(3), CountMode::kFast);
+  EXPECT_EQ(res.original_count, 1u);
+  EXPECT_EQ(res.gadget_count, 3u);  // the padded loop triangle
+}
+
+TEST(CountNodes, CountsOnlyOwnComponent) {
+  Graph g = graph::from_edges(7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}});
+  ReducedGraph net = reduce_to_cubic(g);
+  auto a = count_nodes(net, 0, tiny_family(4), CountMode::kFast);
+  EXPECT_EQ(a.original_count, 3u);
+  auto b = count_nodes(net, 3, tiny_family(4), CountMode::kFast);
+  EXPECT_EQ(b.original_count, 4u);
+}
+
+TEST(CountNodes, EpochBoundCoversComponentSize) {
+  Graph g = graph::cycle(6);
+  ReducedGraph net = reduce_to_cubic(g);  // 18 gadget vertices
+  auto res = count_nodes(net, 0, tiny_family(5), CountMode::kFast);
+  EXPECT_EQ(res.gadget_count, 18u);
+  // Closure cannot be reached before the bound reaches |Cs'|... it CAN be
+  // reached earlier if the short sequence happens to cover; but the bound
+  // reported must be the one that achieved closure.
+  EXPECT_GE(res.final_bound, 2u);
+  EXPECT_GT(res.transmissions, 0u);
+  EXPECT_GT(res.probes, 0u);
+}
+
+TEST(CountNodes, LargerGraphFastMode) {
+  Graph g = graph::gnp(24, 0.15, 9);
+  ReducedGraph net = reduce_to_cubic(g);
+  auto res = count_nodes(net, 0, default_sequence_family(11), CountMode::kFast);
+  EXPECT_EQ(res.original_count, graph::component_of(g, 0).size());
+}
+
+TEST(CountNodes, ValidatesSource) {
+  ReducedGraph net = reduce_to_cubic(graph::cycle(3));
+  EXPECT_THROW(count_nodes(net, 9, tiny_family(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::core

@@ -1,0 +1,100 @@
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_walk.h"
+#include "graph/generators.h"
+
+namespace uesr::core {
+namespace {
+
+using explore::ReducedGraph;
+using explore::reduce_to_cubic;
+using graph::Graph;
+using graph::NodeId;
+
+struct HybridFixture {
+  Graph g;
+  ReducedGraph net;
+  std::shared_ptr<const explore::ExplorationSequence> seq;
+
+  explicit HybridFixture(Graph graph)
+      : g(std::move(graph)), net(reduce_to_cubic(g)),
+        seq(explore::standard_ues(net.cubic.num_nodes())) {}
+};
+
+TEST(Hybrid, DeliversOnConnectedGraph) {
+  HybridFixture f(graph::grid(4, 4));
+  baselines::RandomWalkSession prob(f.g, 0, 15, 0, 42);
+  RouteSession guar(f.net, *f.seq, 0, 15);
+  HybridResult r = route_hybrid(prob, guar);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_FALSE(r.certified_unreachable);
+  EXPECT_NE(r.winner, HybridWinner::kCertifiedFailure);
+  EXPECT_EQ(r.total_transmissions,
+            r.probabilistic_transmissions + r.guaranteed_transmissions);
+}
+
+TEST(Hybrid, CertifiesUnreachableTarget) {
+  Graph g = graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  HybridFixture f(g);
+  // TTL'd random walk (it could never certify anything anyway).
+  baselines::RandomWalkSession prob(f.g, 0, 4, 1000, 7);
+  RouteSession guar(f.net, *f.seq, 0, 4);
+  HybridResult r = route_hybrid(prob, guar);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_TRUE(r.certified_unreachable);
+  EXPECT_EQ(r.winner, HybridWinner::kCertifiedFailure);
+}
+
+TEST(Hybrid, TerminatesEvenIfProbabilisticExhausts) {
+  HybridFixture f(graph::lollipop(5, 8));
+  // A hopeless TTL: the walk gives up almost immediately.
+  baselines::RandomWalkSession prob(f.g, 0, 12, 3, 9);
+  RouteSession guar(f.net, *f.seq, 0, 12);
+  HybridResult r = route_hybrid(prob, guar);
+  EXPECT_TRUE(r.delivered);  // the guaranteed walker finishes the job
+  EXPECT_EQ(r.winner, HybridWinner::kGuaranteed);
+  EXPECT_LE(r.probabilistic_transmissions, 3u);
+}
+
+TEST(Hybrid, CostAtMostTwiceTheWinnerPlusOne) {
+  // The 1:1 interleave property: total <= 2*min(sides) + 2.
+  HybridFixture f(graph::complete(8));
+  baselines::RandomWalkSession prob(f.g, 0, 5, 0, 11);
+  RouteSession guar(f.net, *f.seq, 0, 5);
+  HybridResult r = route_hybrid(prob, guar);
+  ASSERT_TRUE(r.delivered);
+  std::uint64_t winner_cost =
+      r.winner == HybridWinner::kProbabilistic
+          ? r.probabilistic_transmissions
+          : r.guaranteed_transmissions;
+  EXPECT_LE(r.total_transmissions, 2 * winner_cost + 2);
+}
+
+TEST(Hybrid, ProbabilisticUsuallyWinsOnCompleteGraph) {
+  // On K_n the random walk delivers in expected n-1 steps, far faster
+  // than the UES tour of the 3-regularized clique.
+  HybridFixture f(graph::complete(12));
+  int prob_wins = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    baselines::RandomWalkSession prob(f.g, 0, 11, 0, 100 + trial);
+    RouteSession guar(f.net, *f.seq, 0, 11);
+    HybridResult r = route_hybrid(prob, guar);
+    ASSERT_TRUE(r.delivered);
+    if (r.winner == HybridWinner::kProbabilistic) ++prob_wins;
+  }
+  EXPECT_GE(prob_wins, 15);
+}
+
+TEST(Hybrid, SourceEqualsTargetImmediate) {
+  HybridFixture f(graph::cycle(4));
+  baselines::RandomWalkSession prob(f.g, 2, 2, 0, 1);
+  RouteSession guar(f.net, *f.seq, 2, 2);
+  HybridResult r = route_hybrid(prob, guar);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.total_transmissions, 0u);
+}
+
+}  // namespace
+}  // namespace uesr::core

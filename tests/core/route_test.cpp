@@ -1,0 +1,268 @@
+#include "core/route.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace uesr::core {
+namespace {
+
+using explore::ReducedGraph;
+using explore::reduce_to_cubic;
+using graph::Graph;
+using graph::NodeId;
+
+struct Fixture {
+  Graph original;
+  ReducedGraph net;
+  std::shared_ptr<const explore::ExplorationSequence> seq;
+
+  explicit Fixture(Graph g, std::uint64_t seed = 0x5eed0001)
+      : original(std::move(g)), net(reduce_to_cubic(original)),
+        seq(explore::standard_ues(net.cubic.num_nodes() == 0
+                                      ? 1
+                                      : net.cubic.num_nodes(),
+                                  seed)) {}
+
+  UesRouter router() const {
+    return UesRouter(net, seq, net.cubic.num_nodes() + 1);
+  }
+};
+
+TEST(RouteNodeStep, ForwardConsumesNextSymbol) {
+  explore::FixedExplorationSequence seq({2, 1, 0}, 4, "fix");
+  NodeView node{7, 3};
+  net::Header h;
+  h.kind = net::Kind::kRoute;
+  h.target = 99;  // not this node
+  h.index = 0;
+  NodeDecision d = route_node_step(node, 1, h, seq);
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.header.index, 1u);
+  EXPECT_EQ(d.out_port, (1 + 2) % 3);  // in_port + t_1
+  EXPECT_EQ(d.header.dir, net::Direction::kForward);
+}
+
+TEST(RouteNodeStep, TargetTriggersTurnAround) {
+  explore::FixedExplorationSequence seq({2, 1, 0}, 4, "fix");
+  NodeView node{42, 3};
+  net::Header h;
+  h.kind = net::Kind::kRoute;
+  h.target = 42;
+  h.index = 2;
+  NodeDecision d = route_node_step(node, 1, h, seq);
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.out_port, 1u);  // resend over arrival port
+  EXPECT_EQ(d.header.dir, net::Direction::kBackward);
+  EXPECT_EQ(d.header.status, net::Status::kSuccess);
+  EXPECT_EQ(d.header.index, 2u);  // unchanged at turn-around
+}
+
+TEST(RouteNodeStep, ExhaustionTriggersFailureTurnAround) {
+  explore::FixedExplorationSequence seq({2, 1}, 4, "fix");
+  NodeView node{7, 3};
+  net::Header h;
+  h.kind = net::Kind::kRoute;
+  h.target = 99;
+  h.index = 2;  // == length: no symbol left
+  NodeDecision d = route_node_step(node, 0, h, seq);
+  EXPECT_EQ(d.header.dir, net::Direction::kBackward);
+  EXPECT_EQ(d.header.status, net::Status::kFailure);
+}
+
+TEST(RouteNodeStep, BackwardUndoesSymbol) {
+  explore::FixedExplorationSequence seq({2, 1, 0}, 4, "fix");
+  NodeView node{7, 3};
+  net::Header h;
+  h.dir = net::Direction::kBackward;
+  h.status = net::Status::kSuccess;
+  h.index = 1;  // undo step 1 (t_1 = 2)
+  NodeDecision d = route_node_step(node, 0, h, seq);
+  EXPECT_FALSE(d.terminate);
+  EXPECT_EQ(d.out_port, (0 + 3 - 2) % 3);
+  EXPECT_EQ(d.header.index, 0u);
+}
+
+TEST(RouteNodeStep, RewoundMessageTerminates) {
+  explore::FixedExplorationSequence seq({2, 1, 0}, 4, "fix");
+  NodeView node{7, 3};
+  net::Header h;
+  h.dir = net::Direction::kBackward;
+  h.status = net::Status::kFailure;
+  h.index = 0;
+  NodeDecision d = route_node_step(node, 2, h, seq);
+  EXPECT_TRUE(d.terminate);
+  EXPECT_EQ(d.final_status, net::Status::kFailure);
+}
+
+TEST(RouteNodeStep, BroadcastNeverMatchesTarget) {
+  explore::FixedExplorationSequence seq({1}, 4, "fix");
+  NodeView node{5, 3};
+  net::Header h;
+  h.kind = net::Kind::kBroadcast;
+  h.target = net::kNoTarget;
+  h.index = 0;
+  NodeDecision d = route_node_step(node, 0, h, seq);
+  EXPECT_EQ(d.header.dir, net::Direction::kForward);  // keeps walking
+}
+
+TEST(UesRouter, DeliversOnPath) {
+  Fixture f(graph::path(6));
+  auto r = f.router().route(0, 5);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_GT(r.total_transmissions, 0u);
+  EXPECT_GE(r.forward_steps, 5u);  // at least the BFS distance in G'
+}
+
+TEST(UesRouter, DeliversAcrossTopologies) {
+  for (const Graph& g :
+       {graph::cycle(9), graph::complete(7), graph::grid(4, 4),
+        graph::petersen(), graph::binary_tree(12), graph::lollipop(5, 6),
+        graph::star(7)}) {
+    Fixture f(g);
+    UesRouter router = f.router();
+    NodeId n = g.num_nodes();
+    auto r1 = router.route(0, n - 1);
+    EXPECT_TRUE(r1.delivered) << graph::describe(g);
+    auto r2 = router.route(n - 1, 0);
+    EXPECT_TRUE(r2.delivered) << graph::describe(g);
+  }
+}
+
+TEST(UesRouter, DeliveryMatchesReachabilityEverywhere) {
+  // Ground truth sweep: for disconnected graphs the router must deliver
+  // exactly to the reachable vertices and certify failure elsewhere.
+  Graph g = graph::from_edges(
+      9, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 6}, {7, 8}});
+  Fixture f(g);
+  UesRouter router = f.router();
+  for (NodeId s = 0; s < g.num_nodes(); ++s)
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      auto r = router.route(s, t);
+      EXPECT_EQ(r.delivered, graph::has_path(g, s, t))
+          << "s=" << s << " t=" << t;
+    }
+}
+
+TEST(UesRouter, SelfRouteTrivial) {
+  Fixture f(graph::cycle(5));
+  auto r = f.router().route(3, 3);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.total_transmissions, 0u);
+}
+
+TEST(UesRouter, FailureOnIsolatedTarget) {
+  Graph g = graph::from_edges(4, {{0, 1}, {1, 2}});  // node 3 isolated
+  Fixture f(g);
+  auto r = f.router().route(0, 3);
+  EXPECT_FALSE(r.delivered);
+  // Failure costs the full walk plus the backtrack: ~2 L transmissions.
+  EXPECT_GE(r.total_transmissions, 2 * f.seq->length());
+}
+
+TEST(UesRouter, FailureFromIsolatedSource) {
+  Graph g = graph::from_edges(4, {{0, 1}, {1, 2}});
+  Fixture f(g);
+  auto r = f.router().route(3, 0);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST(UesRouter, HeaderBitsAreLogarithmic) {
+  Fixture f(graph::grid(5, 5));
+  auto r = f.router().route(0, 24);
+  // 25 originals -> 100 gadgets; header must stay well under 128 bits.
+  EXPECT_GT(r.header_bits, 0);
+  EXPECT_LT(r.header_bits, 128);
+}
+
+TEST(UesRouter, DeterministicAcrossRuns) {
+  Fixture f(graph::gnp(20, 0.2, 7));
+  UesRouter router = f.router();
+  auto a = router.route(0, 19);
+  auto b = router.route(0, 19);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.total_transmissions, b.total_transmissions);
+  EXPECT_EQ(a.forward_steps, b.forward_steps);
+}
+
+TEST(UesRouter, SuccessReturnCostIsTwiceForwardPlusTurn) {
+  // Transmissions = injection + forward steps + turn-around + backtrack:
+  // exactly 2 * (forward_steps + 1).
+  Fixture f(graph::cycle(8));
+  auto r = f.router().route(0, 4);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.total_transmissions, 2 * (r.forward_steps + 1));
+}
+
+TEST(UesRouter, ValidatesArguments) {
+  Fixture f(graph::cycle(4));
+  UesRouter router = f.router();
+  EXPECT_THROW(router.route(9, 0), std::invalid_argument);
+  EXPECT_THROW(router.route(0, 9), std::invalid_argument);
+  EXPECT_THROW(UesRouter(f.net, nullptr, 100), std::invalid_argument);
+  EXPECT_THROW(UesRouter(f.net, f.seq, 1), std::invalid_argument);
+}
+
+TEST(RouteSession, StepwiseMatchesBatch) {
+  Fixture f(graph::grid(3, 4));
+  UesRouter router = f.router();
+  auto batch = router.route(0, 11);
+  RouteSession session(f.net, *f.seq, 0, 11);
+  std::uint64_t steps = 0;
+  while (!session.finished()) {
+    session.step();
+    ++steps;
+    ASSERT_LT(steps, 10'000'000u) << "session does not terminate";
+  }
+  EXPECT_EQ(session.status() == net::Status::kSuccess, batch.delivered);
+  EXPECT_EQ(session.transmissions(), batch.total_transmissions);
+  EXPECT_EQ(session.forward_steps(), batch.forward_steps);
+}
+
+TEST(RouteSession, TargetReachedFiresBeforeFinish) {
+  Fixture f(graph::path(5));
+  RouteSession session(f.net, *f.seq, 0, 4);
+  bool reached_before_finished = false;
+  while (!session.finished()) {
+    session.step();
+    if (session.target_reached() && !session.finished())
+      reached_before_finished = true;
+  }
+  EXPECT_TRUE(reached_before_finished);
+  EXPECT_EQ(session.status(), net::Status::kSuccess);
+}
+
+TEST(Broadcast, CoversExactlyTheComponent) {
+  Graph g = graph::from_edges(8, {{0, 1}, {1, 2}, {2, 3}, {4, 5}, {5, 6}});
+  Fixture f(g);
+  UesRouter router = f.router();
+  auto b = router.broadcast(0);
+  auto comp = graph::component_of(g, 0);
+  EXPECT_EQ(b.distinct_visited, comp.size());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    bool in_comp = std::find(comp.begin(), comp.end(), v) != comp.end();
+    EXPECT_EQ(b.visited_originals[v], in_comp) << "v=" << v;
+  }
+}
+
+TEST(Broadcast, SingletonComponent) {
+  Graph g = graph::from_edges(3, {{0, 1}});  // 2 isolated
+  Fixture f(g);
+  auto b = f.router().broadcast(2);
+  EXPECT_EQ(b.distinct_visited, 1u);
+  EXPECT_TRUE(b.visited_originals[2]);
+  EXPECT_FALSE(b.visited_originals[0]);
+}
+
+TEST(Broadcast, WholeGraphWhenConnected) {
+  for (const Graph& g : {graph::petersen(), graph::grid(3, 5),
+                         graph::random_tree(17, 3)}) {
+    Fixture f(g);
+    auto b = f.router().broadcast(0);
+    EXPECT_EQ(b.distinct_visited, g.num_nodes()) << graph::describe(g);
+  }
+}
+
+}  // namespace
+}  // namespace uesr::core

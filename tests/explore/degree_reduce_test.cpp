@@ -1,0 +1,154 @@
+#include "explore/degree_reduce.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace uesr::explore {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Port;
+
+TEST(DegreeReduce, AlwaysCubic) {
+  std::vector<Graph> zoo = {
+      graph::path(2),       graph::path(7),      graph::cycle(5),
+      graph::star(6),       graph::complete(6),  graph::grid(3, 4),
+      graph::petersen(),    graph::binary_tree(10),
+      graph::gnp(20, 0.3, 1), graph::lollipop(5, 4)};
+  for (const Graph& g : zoo) {
+    ReducedGraph r = reduce_to_cubic(g);
+    EXPECT_TRUE(r.cubic.is_regular(3)) << graph::describe(g);
+    r.cubic.validate();
+  }
+}
+
+TEST(DegreeReduce, SizeIsSumOfClampedDegrees) {
+  Graph g = graph::star(5);  // hub degree 5, leaves degree 1
+  ReducedGraph r = reduce_to_cubic(g);
+  EXPECT_EQ(r.cubic.num_nodes(), 5u + 5u * 3u);
+  EXPECT_EQ(r.gadget_count[0], 5u);
+  for (NodeId v = 1; v <= 5; ++v) EXPECT_EQ(r.gadget_count[v], 3u);
+}
+
+TEST(DegreeReduce, BlowupIsLinear) {
+  for (const Graph& g :
+       {graph::complete(10), graph::grid(5, 5), graph::cycle(30)}) {
+    ReducedGraph r = reduce_to_cubic(g);
+    EXPECT_LE(r.cubic.num_nodes(), 2 * g.num_edges() + 3 * g.num_nodes());
+  }
+}
+
+TEST(DegreeReduce, CubicVertexGetsTriangleGadget) {
+  Graph g = graph::k4();
+  ReducedGraph r = reduce_to_cubic(g);
+  EXPECT_EQ(r.cubic.num_nodes(), 12u);  // 4 vertices x 3 gadgets
+  // No half loops: every vertex had degree exactly 3.
+  for (NodeId v = 0; v < r.cubic.num_nodes(); ++v)
+    for (Port p = 0; p < 3; ++p) EXPECT_FALSE(r.cubic.is_half_loop(v, p));
+}
+
+TEST(DegreeReduce, LowDegreePadsWithHalfLoops) {
+  Graph g = graph::path(2);  // two degree-1 vertices
+  ReducedGraph r = reduce_to_cubic(g);
+  EXPECT_EQ(r.cubic.num_nodes(), 6u);
+  std::size_t half_loops = 0;
+  for (NodeId v = 0; v < r.cubic.num_nodes(); ++v)
+    for (Port p = 0; p < 3; ++p)
+      if (r.cubic.is_half_loop(v, p)) ++half_loops;
+  EXPECT_EQ(half_loops, 4u);  // 2 unused ports per vertex
+}
+
+TEST(DegreeReduce, IsolatedVertexBecomesLoopTriangle) {
+  Graph g = GraphBuilder(1).build();
+  ReducedGraph r = reduce_to_cubic(g);
+  EXPECT_EQ(r.cubic.num_nodes(), 3u);
+  EXPECT_TRUE(r.cubic.is_regular(3));
+  EXPECT_TRUE(graph::is_connected(r.cubic));
+}
+
+TEST(DegreeReduce, PreservesComponentStructure) {
+  Graph g = graph::from_edges(7, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 3}});
+  ReducedGraph r = reduce_to_cubic(g);
+  auto comp = graph::connected_components(r.cubic);
+  // Gadgets of the same original vertex are in one component.
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (NodeId j = 1; j < r.gadget_count[v]; ++j)
+      EXPECT_EQ(comp[r.first_gadget[v]], comp[r.first_gadget[v] + j]);
+  // Original connectivity is mirrored exactly.
+  auto orig_comp = graph::connected_components(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_EQ(orig_comp[u] == orig_comp[v],
+                comp[r.entry_gadget(u)] == comp[r.entry_gadget(v)])
+          << u << " vs " << v;
+}
+
+TEST(DegreeReduce, GadgetMapsAreConsistent) {
+  Graph g = graph::complete(5);
+  ReducedGraph r = reduce_to_cubic(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (Port p = 0; p < g.degree(v); ++p) {
+      NodeId gv = r.gadget(v, p);
+      EXPECT_EQ(r.original_of[gv], v);
+      EXPECT_TRUE(r.belongs_to(gv, v));
+    }
+    EXPECT_EQ(r.entry_gadget(v), r.gadget(v, 0));
+  }
+  EXPECT_THROW(r.gadget(0, 99), std::invalid_argument);
+  EXPECT_THROW(r.gadget(99, 0), std::invalid_argument);
+}
+
+TEST(DegreeReduce, ExternalEdgesMirrorOriginalEdges) {
+  Graph g = graph::petersen();
+  ReducedGraph r = reduce_to_cubic(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Port p = 0; p < g.degree(v); ++p) {
+      graph::HalfEdge far = g.rotate(v, p);
+      NodeId mine = r.gadget(v, p);
+      // Port 2 is the external port by convention.
+      graph::HalfEdge ext = r.cubic.rotate(mine, 2);
+      EXPECT_EQ(ext.node, r.gadget(far.node, far.port));
+      EXPECT_EQ(ext.port, 2u);
+    }
+}
+
+TEST(DegreeReduce, GadgetCycleUsesPorts0And1) {
+  Graph g = graph::star(4);
+  ReducedGraph r = reduce_to_cubic(g);
+  NodeId base = r.first_gadget[0];
+  NodeId c = r.gadget_count[0];
+  for (NodeId j = 0; j < c; ++j) {
+    graph::HalfEdge next = r.cubic.rotate(base + j, 1);
+    EXPECT_EQ(next.node, base + (j + 1) % c);
+    EXPECT_EQ(next.port, 0u);
+  }
+}
+
+TEST(DegreeReduce, OriginalLoopsHandled) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);     // full loop
+  b.add_half_loop(1);
+  b.add_edge(0, 1);
+  Graph g = std::move(b).build();
+  ReducedGraph r = reduce_to_cubic(g);
+  EXPECT_TRUE(r.cubic.is_regular(3));
+  r.cubic.validate();
+  EXPECT_TRUE(graph::is_connected(r.cubic));
+  // Full loop becomes an edge between two gadgets of vertex 0.
+  graph::HalfEdge ext = r.cubic.rotate(r.gadget(0, 0), 2);
+  EXPECT_EQ(ext.node, r.gadget(0, 1));
+  // Half loop stays a half loop on its gadget.
+  EXPECT_TRUE(r.cubic.is_half_loop(r.gadget(1, 0), 2));
+}
+
+TEST(DegreeReduce, EmptyGraph) {
+  ReducedGraph r = reduce_to_cubic(GraphBuilder(0).build());
+  EXPECT_EQ(r.cubic.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace uesr::explore

@@ -1,0 +1,87 @@
+#include "explore/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace uesr::explore {
+namespace {
+
+TEST(RandomSequence, SymbolsInAlphabet) {
+  RandomExplorationSequence seq(1, 10000, 16);
+  for (std::uint64_t i = 1; i <= seq.length(); ++i) EXPECT_LT(seq.symbol(i), 3u);
+}
+
+TEST(RandomSequence, StatelessAndDeterministic) {
+  RandomExplorationSequence a(42, 1000, 8), b(42, 1000, 8);
+  EXPECT_EQ(a.symbol(500), b.symbol(500));
+  // Out-of-order access yields identical values (pure function of index).
+  Symbol s999 = a.symbol(999);
+  a.symbol(1);
+  EXPECT_EQ(a.symbol(999), s999);
+}
+
+TEST(RandomSequence, SeedsDiffer) {
+  RandomExplorationSequence a(1, 300, 8), b(2, 300, 8);
+  int same = 0;
+  for (std::uint64_t i = 1; i <= 300; ++i)
+    if (a.symbol(i) == b.symbol(i)) ++same;
+  EXPECT_LT(same, 160);  // ~1/3 expected agreement for ternary alphabet
+}
+
+TEST(RandomSequence, IndexBoundsChecked) {
+  RandomExplorationSequence seq(1, 10, 4);
+  EXPECT_THROW(seq.symbol(0), std::out_of_range);
+  EXPECT_THROW(seq.symbol(11), std::out_of_range);
+  EXPECT_NO_THROW(seq.symbol(10));
+}
+
+TEST(RandomSequence, CustomAlphabet) {
+  RandomExplorationSequence seq(7, 1000, 8, 5);
+  bool saw4 = false;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    EXPECT_LT(seq.symbol(i), 5u);
+    if (seq.symbol(i) == 4) saw4 = true;
+  }
+  EXPECT_TRUE(saw4);
+}
+
+TEST(RandomSequence, ZeroAlphabetThrows) {
+  EXPECT_THROW(RandomExplorationSequence(1, 10, 4, 0), std::invalid_argument);
+}
+
+TEST(FixedSequence, ReturnsStoredSymbols) {
+  FixedExplorationSequence seq({0, 1, 2, 1}, 4, "test");
+  EXPECT_EQ(seq.length(), 4u);
+  EXPECT_EQ(seq.symbol(1), 0u);
+  EXPECT_EQ(seq.symbol(4), 1u);
+  EXPECT_EQ(seq.name(), "test");
+  EXPECT_THROW(seq.symbol(0), std::out_of_range);
+  EXPECT_THROW(seq.symbol(5), std::out_of_range);
+}
+
+TEST(DefaultLength, GrowsSuperQuadratically) {
+  EXPECT_GE(default_ues_length(1), 64u);
+  std::uint64_t l8 = default_ues_length(8);
+  std::uint64_t l16 = default_ues_length(16);
+  std::uint64_t l32 = default_ues_length(32);
+  EXPECT_GT(l16, 4 * l8 / 2);
+  EXPECT_GT(l32, 4 * l16 / 2);
+  EXPECT_THROW(default_ues_length(0), std::invalid_argument);
+}
+
+TEST(StandardUes, TargetsRequestedSize) {
+  auto seq = standard_ues(32);
+  EXPECT_EQ(seq->target_size(), 32u);
+  EXPECT_EQ(seq->length(), default_ues_length(32));
+  // Deterministic across calls with the same seed.
+  auto seq2 = standard_ues(32);
+  EXPECT_EQ(seq->symbol(17), seq2->symbol(17));
+}
+
+TEST(StandardUes, NameMentionsParameters) {
+  auto seq = standard_ues(16, 99);
+  EXPECT_NE(seq->name().find("seed=99"), std::string::npos);
+  EXPECT_NE(seq->name().find("n=16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uesr::explore

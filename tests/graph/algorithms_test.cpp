@@ -1,0 +1,130 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace uesr::graph {
+namespace {
+
+TEST(Bfs, PathDistances) {
+  Graph g = path(5);
+  auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, DisconnectedUnreachable) {
+  Graph g = from_edges(4, {{0, 1}, {2, 3}});
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Bfs, SelfDistanceZero) {
+  Graph g = cycle(6);
+  EXPECT_EQ(bfs_distances(g, 3)[3], 0u);
+}
+
+TEST(Bfs, CycleWrapsAround) {
+  Graph g = cycle(8);
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[4], 4u);
+  EXPECT_EQ(d[5], 3u);
+  EXPECT_EQ(d[7], 1u);
+}
+
+TEST(Bfs, BadSourceThrows) {
+  Graph g = path(3);
+  EXPECT_THROW(bfs_distances(g, 3), std::invalid_argument);
+}
+
+TEST(HasPath, Basics) {
+  Graph g = from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(has_path(g, 0, 1));
+  EXPECT_TRUE(has_path(g, 0, 0));
+  EXPECT_FALSE(has_path(g, 0, 3));
+}
+
+TEST(Components, TwoComponents) {
+  Graph g = from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(num_components(g), 2u);
+}
+
+TEST(Components, ComponentOfContainsExactlyReachable) {
+  Graph g = from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  auto c = component_of(g, 0);
+  EXPECT_EQ(c.size(), 3u);
+  auto c2 = component_of(g, 5);
+  EXPECT_EQ(c2.size(), 1u);
+}
+
+TEST(Components, IsolatedVerticesAreComponents) {
+  Graph g = GraphBuilder(3).build();
+  EXPECT_EQ(num_components(g), 3u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, EmptyGraphConnected) {
+  Graph g = GraphBuilder(0).build();
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(num_components(g), 0u);
+}
+
+TEST(Components, LoopsDoNotConnectAnythingNew) {
+  GraphBuilder b(2);
+  b.add_half_loop(0);
+  b.add_edge(0, 0);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(num_components(g), 2u);
+}
+
+TEST(Diameter, PathAndCycle) {
+  EXPECT_EQ(component_diameter(path(10), 0), 9u);
+  EXPECT_EQ(component_diameter(cycle(10), 0), 5u);
+  EXPECT_EQ(component_diameter(complete(7), 0), 1u);
+}
+
+TEST(Diameter, OnlyCountsOwnComponent) {
+  Graph g = from_edges(5, {{0, 1}, {2, 3}, {3, 4}});
+  EXPECT_EQ(component_diameter(g, 0), 1u);
+  EXPECT_EQ(component_diameter(g, 2), 2u);
+}
+
+TEST(Bipartite, Classification) {
+  EXPECT_TRUE(is_bipartite(path(6)));
+  EXPECT_TRUE(is_bipartite(cycle(8)));
+  EXPECT_FALSE(is_bipartite(cycle(7)));
+  EXPECT_TRUE(is_bipartite(complete_bipartite(3, 4)));
+  EXPECT_FALSE(is_bipartite(complete(3)));
+  EXPECT_TRUE(is_bipartite(hypercube(4)));
+}
+
+TEST(Bipartite, LoopsBreakBipartiteness) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_half_loop(0);
+  Graph g = std::move(b).build();
+  EXPECT_FALSE(is_bipartite(g));
+}
+
+TEST(Bfs, HandlesParallelEdgesAndLoops) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(1, 1);
+  b.add_half_loop(2);
+  b.add_edge(1, 2);
+  Graph g = std::move(b).build();
+  auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+}
+
+}  // namespace
+}  // namespace uesr::graph

@@ -1,0 +1,108 @@
+#include "graph/canonical.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace uesr::graph {
+namespace {
+
+/// Applies a vertex relabelling permutation to produce an isomorphic copy.
+Graph permuted(const Graph& g, const std::vector<NodeId>& perm) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::vector<HalfEdge>> adj(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    adj[perm[v]].resize(g.degree(v));
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Port p = 0; p < g.degree(v); ++p) {
+      HalfEdge far = g.rotate(v, p);
+      adj[perm[v]][p] = {perm[far.node], far.port};
+    }
+  return from_rotation(std::move(adj));
+}
+
+TEST(Canonical, IsomorphicCopiesShareCode) {
+  Graph g = petersen();
+  util::Pcg32 rng(5);
+  std::vector<NodeId> perm(g.num_nodes());
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(perm.begin(), perm.end(), rng);
+    EXPECT_EQ(canonical_code(g), canonical_code(permuted(g, perm)));
+  }
+}
+
+TEST(Canonical, RelabelingPortsDoesNotChangeCode) {
+  Graph g = k33();
+  util::Pcg32 rng(9);
+  for (int trial = 0; trial < 10; ++trial)
+    EXPECT_EQ(canonical_code(g), canonical_code(g.randomly_relabeled(rng)));
+}
+
+TEST(Canonical, DistinguishesNonIsomorphicCubicGraphs) {
+  // The two connected cubic graphs on 6 vertices.
+  EXPECT_NE(canonical_code(k33()), canonical_code(prism(3)));
+  // The 8-vertex cube vs the 4-prism... identical (Q3 == CL_4)! Use K4 vs
+  // something of different size instead, and Petersen vs prism(5).
+  EXPECT_EQ(canonical_code(cube_q3()), canonical_code(prism(4)));
+  EXPECT_NE(canonical_code(petersen()), canonical_code(prism(5)));
+}
+
+TEST(Canonical, SizeMismatchNeverEqual) {
+  EXPECT_NE(canonical_code(cycle(5)), canonical_code(cycle(6)));
+  EXPECT_FALSE(is_isomorphic(cycle(5), cycle(6)));
+}
+
+TEST(Canonical, SameDegreeSequenceDifferentStructure) {
+  // Two 2-regular graphs on 6 vertices: C6 vs two triangles.
+  Graph c6 = cycle(6);
+  Graph twoTriangles =
+      from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  EXPECT_FALSE(is_isomorphic(c6, twoTriangles));
+}
+
+TEST(Canonical, MultigraphFeaturesDistinguish) {
+  // Full loop vs two half loops: both degree-2 single vertices.
+  GraphBuilder a(1), b(1);
+  a.add_edge(0, 0);
+  b.add_half_loop(0);
+  b.add_half_loop(0);
+  Graph ga = std::move(a).build(), gb = std::move(b).build();
+  EXPECT_FALSE(is_isomorphic(ga, gb));
+}
+
+TEST(Canonical, ParallelEdgesCounted) {
+  Graph single = from_edges(2, {{0, 1}});
+  Graph twice = from_edges(2, {{0, 1}, {0, 1}});
+  EXPECT_FALSE(is_isomorphic(single, twice));
+}
+
+TEST(Canonical, IsIsomorphicReflexive) {
+  for (const Graph& g : {petersen(), k4(), grid(3, 4), lollipop(4, 3)})
+    EXPECT_TRUE(is_isomorphic(g, g));
+}
+
+TEST(Canonical, HashConsistentWithCode) {
+  Graph g = petersen();
+  util::Pcg32 rng(3);
+  EXPECT_EQ(canonical_hash(g), canonical_hash(g.randomly_relabeled(rng)));
+  EXPECT_NE(canonical_hash(k33()), canonical_hash(prism(3)));
+}
+
+TEST(Canonical, HighlySymmetricGraphsTerminate) {
+  // Vertex-transitive graphs exercise the branching path hardest.
+  EXPECT_EQ(canonical_code(hypercube(4)).size(),
+            canonical_code(hypercube(4)).size());
+  EXPECT_TRUE(is_isomorphic(complete(7), complete(7)));
+  EXPECT_TRUE(is_isomorphic(moebius_kantor(), moebius_kantor()));
+}
+
+TEST(Canonical, DirectedPairsOfTreesDistinguished) {
+  // Path P4 vs star S3: same size, same edge count.
+  EXPECT_FALSE(is_isomorphic(path(4), star(3)));
+}
+
+}  // namespace
+}  // namespace uesr::graph

@@ -1,0 +1,78 @@
+#include "graph/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/canonical.h"
+#include "graph/generators.h"
+
+namespace uesr::graph {
+namespace {
+
+TEST(Catalog, KnownCounts) {
+  EXPECT_EQ(known_cubic_count(4), 1u);
+  EXPECT_EQ(known_cubic_count(6), 2u);
+  EXPECT_EQ(known_cubic_count(8), 5u);
+  EXPECT_EQ(known_cubic_count(10), 19u);
+  EXPECT_EQ(known_cubic_count(12), 85u);
+  EXPECT_THROW(known_cubic_count(14), std::invalid_argument);
+  EXPECT_THROW(known_cubic_count(5), std::invalid_argument);
+}
+
+TEST(Catalog, N4IsExactlyK4) {
+  auto cat = connected_cubic_graphs(4, 1);
+  ASSERT_EQ(cat.size(), 1u);
+  EXPECT_TRUE(is_isomorphic(cat[0], k4()));
+}
+
+TEST(Catalog, N6HasBothClasses) {
+  auto cat = connected_cubic_graphs(6, 1);
+  ASSERT_EQ(cat.size(), 2u);
+  std::set<CanonicalCode> codes;
+  for (const Graph& g : cat) codes.insert(canonical_code(g));
+  EXPECT_TRUE(codes.count(canonical_code(k33())));
+  EXPECT_TRUE(codes.count(canonical_code(prism(3))));
+}
+
+TEST(Catalog, N8MatchesOeis) {
+  auto cat = connected_cubic_graphs(8, 2);
+  EXPECT_EQ(cat.size(), 5u);
+  for (const Graph& g : cat) {
+    EXPECT_TRUE(g.is_regular(3));
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(g.num_nodes(), 8u);
+  }
+}
+
+TEST(Catalog, N10MatchesOeisAndContainsPetersen) {
+  auto cat = connected_cubic_graphs(10, 3);
+  EXPECT_EQ(cat.size(), 19u);
+  bool has_petersen = false;
+  for (const Graph& g : cat)
+    if (is_isomorphic(g, petersen())) has_petersen = true;
+  EXPECT_TRUE(has_petersen);
+}
+
+TEST(Catalog, AllMembersDistinct) {
+  auto cat = connected_cubic_graphs(8, 4);
+  std::set<CanonicalCode> codes;
+  for (const Graph& g : cat) codes.insert(canonical_code(g));
+  EXPECT_EQ(codes.size(), cat.size());
+}
+
+TEST(Catalog, DeterministicPerSeed) {
+  auto a = connected_cubic_graphs(6, 42);
+  auto b = connected_cubic_graphs(6, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Catalog, RejectsOddOrTiny) {
+  EXPECT_THROW(connected_cubic_graphs(5, 1), std::invalid_argument);
+  EXPECT_THROW(connected_cubic_graphs(2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::graph

@@ -1,0 +1,119 @@
+#include "graph/geometric.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace uesr::graph {
+namespace {
+
+TEST(Geometric, Distance2D) {
+  EXPECT_DOUBLE_EQ(distance(Point2{0, 0}, Point2{3, 4}), 5.0);
+}
+
+TEST(Geometric, Distance3D) {
+  EXPECT_DOUBLE_EQ(distance(Point3{1, 2, 2}, Point3{0, 0, 0}), 3.0);
+}
+
+TEST(Geometric, UnitDisk2dEdgesMatchRadius) {
+  auto net = unit_disk_2d(50, 0.3, 11);
+  const Graph& g = net.graph;
+  ASSERT_EQ(net.positions.size(), 50u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      bool close = distance(net.positions[u], net.positions[v]) <= 0.3;
+      EXPECT_EQ(g.adjacent(u, v), close) << u << "," << v;
+    }
+}
+
+TEST(Geometric, UnitDisk2dDeterministic) {
+  auto a = unit_disk_2d(30, 0.25, 7);
+  auto b = unit_disk_2d(30, 0.25, 7);
+  EXPECT_EQ(a.graph, b.graph);
+}
+
+TEST(Geometric, UnitDisk3dEdgesMatchRadius) {
+  auto net = unit_disk_3d(40, 0.4, 3);
+  const Graph& g = net.graph;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v = u + 1; v < g.num_nodes(); ++v) {
+      bool close = distance(net.positions[u], net.positions[v]) <= 0.4;
+      EXPECT_EQ(g.adjacent(u, v), close);
+    }
+}
+
+TEST(Geometric, ConnectedVariantsAreConnected) {
+  auto g2 = connected_unit_disk_2d(60, 0.25, 5);
+  EXPECT_TRUE(is_connected(g2.graph));
+  auto g3 = connected_unit_disk_3d(60, 0.4, 5);
+  EXPECT_TRUE(is_connected(g3.graph));
+}
+
+TEST(Geometric, GabrielSubgraphIsSubgraph) {
+  auto net = connected_unit_disk_2d(80, 0.25, 9);
+  auto gg = gabriel_subgraph(net);
+  EXPECT_LE(gg.graph.num_edges(), net.graph.num_edges());
+  for (NodeId u = 0; u < gg.graph.num_nodes(); ++u)
+    for (NodeId v : gg.graph.neighbors(u))
+      EXPECT_TRUE(net.graph.adjacent(u, v));
+}
+
+TEST(Geometric, GabrielSubgraphPreservesConnectivity) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto net = connected_unit_disk_2d(70, 0.28, seed);
+    auto gg = gabriel_subgraph(net);
+    EXPECT_TRUE(is_connected(gg.graph)) << "seed " << seed;
+  }
+}
+
+TEST(Geometric, GabrielSubgraphIsPlane) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto net = connected_unit_disk_2d(60, 0.3, seed);
+    auto gg = gabriel_subgraph(net);
+    EXPECT_TRUE(is_plane_embedding(gg)) << "seed " << seed;
+  }
+}
+
+TEST(Geometric, GabrielRemovesBlockedEdge) {
+  // Three collinear-ish points: w sits inside the diametral circle of (u,v).
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  Positioned2 net{std::move(b).build(),
+                  {{0.0, 0.0}, {1.0, 0.0}, {0.5, 0.1}}};
+  auto gg = gabriel_subgraph(net);
+  EXPECT_FALSE(gg.graph.adjacent(0, 1));  // blocked by vertex 2
+  EXPECT_TRUE(gg.graph.adjacent(0, 2));
+  EXPECT_TRUE(gg.graph.adjacent(1, 2));
+}
+
+TEST(Geometric, PlaneEmbeddingDetectsCrossing) {
+  // Two crossing diagonals of a square.
+  GraphBuilder b(4);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  Positioned2 net{std::move(b).build(),
+                  {{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+  EXPECT_FALSE(is_plane_embedding(net));
+}
+
+TEST(Geometric, PlaneEmbeddingAcceptsSquare) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  Positioned2 net{std::move(b).build(),
+                  {{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+  EXPECT_TRUE(is_plane_embedding(net));
+}
+
+TEST(Geometric, Validation) {
+  EXPECT_THROW(unit_disk_2d(0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(unit_disk_2d(5, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(unit_disk_3d(5, -1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::graph

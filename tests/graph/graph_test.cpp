@@ -1,0 +1,188 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace uesr::graph {
+namespace {
+
+TEST(GraphBuilder, SimpleTriangle) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.is_regular(2));
+}
+
+TEST(GraphBuilder, PortAssignmentOrder) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);  // 0:p0 <-> 1:p0
+  b.add_edge(0, 2);  // 0:p1 <-> 2:p0
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.rotate(0, 0), (HalfEdge{1, 0}));
+  EXPECT_EQ(g.rotate(0, 1), (HalfEdge{2, 0}));
+  EXPECT_EQ(g.rotate(1, 0), (HalfEdge{0, 0}));
+  EXPECT_EQ(g.rotate(2, 0), (HalfEdge{0, 1}));
+}
+
+TEST(GraphBuilder, FullLoopUsesTwoPorts) {
+  GraphBuilder b(1);
+  b.add_edge(0, 0);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.rotate(0, 0), (HalfEdge{0, 1}));
+  EXPECT_EQ(g.rotate(0, 1), (HalfEdge{0, 0}));
+  EXPECT_FALSE(g.is_half_loop(0, 0));
+}
+
+TEST(GraphBuilder, HalfLoopIsFixedPoint) {
+  GraphBuilder b(1);
+  b.add_half_loop(0);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.is_half_loop(0, 0));
+  EXPECT_EQ(g.rotate(0, 0), (HalfEdge{0, 0}));
+}
+
+TEST(GraphBuilder, ParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_EQ(g.neighbors(0), std::vector<NodeId>{1});
+}
+
+TEST(GraphBuilder, AddNodeGrows) {
+  GraphBuilder b(0);
+  EXPECT_EQ(b.add_node(), 0u);
+  EXPECT_EQ(b.add_node(), 1u);
+  b.add_edge(0, 1);
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(GraphBuilder, OutOfRangeThrows) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::invalid_argument);
+  EXPECT_THROW(b.add_half_loop(5), std::invalid_argument);
+}
+
+TEST(Graph, PortToFindsEdge) {
+  Graph g = from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.port_to(0, 1), 0u);
+  EXPECT_EQ(g.port_to(2, 1), 0u);
+  EXPECT_THROW(g.port_to(0, 2), std::invalid_argument);
+}
+
+TEST(Graph, AdjacentQueries) {
+  Graph g = from_edges(3, {{0, 1}});
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_TRUE(g.adjacent(1, 0));
+  EXPECT_FALSE(g.adjacent(0, 2));
+}
+
+TEST(Graph, DegreeExtremes) {
+  Graph g = from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_EQ(g.min_degree(), 1u);
+  EXPECT_FALSE(g.is_regular(3));
+}
+
+TEST(Graph, ValidateRejectsBrokenInvolution) {
+  std::vector<std::vector<HalfEdge>> adj(2);
+  adj[0] = {{1, 0}};
+  adj[1] = {{1, 0}};  // 1's port 0 points at itself, but 0 points at 1
+  EXPECT_THROW(from_rotation(std::move(adj)), std::logic_error);
+}
+
+TEST(Graph, FromRotationAcceptsCrossedParallelPorts) {
+  // Parallel edges with crossed port order: not constructible by the
+  // sequential builder, but a legal rotation map.
+  std::vector<std::vector<HalfEdge>> adj(2);
+  adj[0] = {{1, 1}, {1, 0}};
+  adj[1] = {{0, 1}, {0, 0}};
+  Graph g = from_rotation(std::move(adj));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, RelabeledPreservesStructure) {
+  Graph g = from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  std::vector<std::vector<Port>> perms(4);
+  for (NodeId v = 0; v < 4; ++v) {
+    perms[v].resize(g.degree(v));
+    std::iota(perms[v].begin(), perms[v].end(), Port{0});
+    std::reverse(perms[v].begin(), perms[v].end());
+  }
+  Graph h = g.relabeled(perms);
+  h.validate();
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(h.degree(v), g.degree(v));
+    EXPECT_EQ(h.neighbors(v), g.neighbors(v));
+  }
+  // Port 0 of vertex 0 now leads where the last port used to.
+  EXPECT_EQ(h.neighbor(0, 0), g.neighbor(0, g.degree(0) - 1));
+}
+
+TEST(Graph, RelabeledIdentityIsNoop) {
+  Graph g = from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  std::vector<std::vector<Port>> perms(3, std::vector<Port>{0, 1});
+  EXPECT_EQ(g.relabeled(perms), g);
+}
+
+TEST(Graph, RelabeledValidatesPermutation) {
+  Graph g = from_edges(2, {{0, 1}});
+  std::vector<std::vector<Port>> bad(2);
+  bad[0] = {0, 0};  // wrong size AND not a permutation
+  bad[1] = {0};
+  EXPECT_THROW(g.relabeled(bad), std::invalid_argument);
+  bad[0] = {0};
+  bad[1] = {5};  // out of range
+  EXPECT_THROW(g.relabeled(bad), std::invalid_argument);
+}
+
+TEST(Graph, RandomRelabelKeepsEdgeSet) {
+  Graph g = from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}});
+  util::Pcg32 rng(77);
+  for (int i = 0; i < 20; ++i) {
+    Graph h = g.randomly_relabeled(rng);
+    h.validate();
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_EQ(h.neighbors(v), g.neighbors(v));
+  }
+}
+
+TEST(Graph, EdgeCountMixedLoops) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);     // 1 edge
+  b.add_edge(0, 0);     // full loop: 1 edge, 2 ports
+  b.add_half_loop(1);   // half loop: 1 edge, 1 port
+  Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, DescribeFormat) {
+  Graph g = from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(describe(g), "n=3 m=3 deg=[2,2]");
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g = GraphBuilder(0).build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+}  // namespace
+}  // namespace uesr::graph

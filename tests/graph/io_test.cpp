@@ -1,0 +1,81 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace uesr::graph {
+namespace {
+
+TEST(Io, RoundTripSimpleGraph) {
+  Graph g = petersen();
+  Graph h = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, h);  // exact rotation map, not just isomorphism
+}
+
+TEST(Io, RoundTripWithLoops) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 1);   // full loop
+  b.add_half_loop(2);
+  b.add_half_loop(2);
+  b.add_edge(2, 0);
+  Graph g = std::move(b).build();
+  Graph h = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, h);
+}
+
+TEST(Io, RoundTripCrossedParallelPorts) {
+  std::vector<std::vector<HalfEdge>> adj(2);
+  adj[0] = {{1, 1}, {1, 0}};
+  adj[1] = {{0, 1}, {0, 0}};
+  Graph g = from_rotation(std::move(adj));
+  Graph h = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, h);
+}
+
+TEST(Io, RoundTripEmptyAndIsolated) {
+  Graph g = GraphBuilder(4).build();
+  Graph h = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, h);
+}
+
+TEST(Io, RejectsBadHeader) {
+  EXPECT_THROW(from_edge_list("nonsense 3\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list(""), std::invalid_argument);
+}
+
+TEST(Io, RejectsOutOfRangeNode) {
+  EXPECT_THROW(from_edge_list("uesr-graph 2\n0 0 5 0\n"),
+               std::invalid_argument);
+}
+
+TEST(Io, RejectsDuplicateHalfEdge) {
+  EXPECT_THROW(
+      from_edge_list("uesr-graph 2\n0 0 1 0\n0 0 1 1\n"),
+      std::invalid_argument);
+}
+
+TEST(Io, RejectsPortGap) {
+  // Port 1 of node 0 is referenced but port 0 never defined.
+  EXPECT_THROW(from_edge_list("uesr-graph 2\n0 1 1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(Io, DotOutputContainsEdges) {
+  Graph g = from_edges(3, {{0, 1}, {1, 2}});
+  std::string dot = to_dot(g, "T");
+  EXPECT_NE(dot.find("graph T {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(Io, DotMarksHalfLoops) {
+  GraphBuilder b(1);
+  b.add_half_loop(0);
+  std::string dot = to_dot(std::move(b).build());
+  EXPECT_NE(dot.find("label=\"h\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uesr::graph

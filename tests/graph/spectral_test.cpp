@@ -1,0 +1,119 @@
+#include "graph/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/generators.h"
+
+namespace uesr::graph {
+namespace {
+
+TEST(Spectral, AdjacencyMatrixCountsPorts) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(0, 0);     // full loop: 2 on the diagonal
+  b.add_half_loop(1);   // half loop: 1 on the diagonal
+  Graph g = std::move(b).build();
+  auto m = adjacency_matrix(g);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+TEST(Spectral, JacobiDiagonalizesKnownMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  DenseMatrix m;
+  m.n = 2;
+  m.a = {2, 1, 1, 2};
+  auto eig = symmetric_eigenvalues(m);
+  ASSERT_EQ(eig.size(), 2u);
+  EXPECT_NEAR(eig[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig[1], 1.0, 1e-10);
+}
+
+TEST(Spectral, CompleteGraphSpectrum) {
+  // Normalized adjacency of K_n: eigenvalue 1 once, -1/(n-1) with
+  // multiplicity n-1.
+  const int n = 8;
+  auto eig = symmetric_eigenvalues(normalized_adjacency(complete(n)));
+  EXPECT_NEAR(eig[0], 1.0, 1e-9);
+  for (int i = 1; i < n; ++i) EXPECT_NEAR(eig[i], -1.0 / (n - 1), 1e-9);
+  EXPECT_NEAR(lambda_exact(complete(n)), 1.0 / (n - 1), 1e-9);
+}
+
+TEST(Spectral, CycleSpectrum) {
+  // C_n normalized eigenvalues are cos(2 pi k / n).
+  const int n = 12;
+  auto eig = symmetric_eigenvalues(normalized_adjacency(cycle(n)));
+  EXPECT_NEAR(eig[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig[1], std::cos(2 * std::numbers::pi / n), 1e-9);
+  // Bipartite (even cycle): -1 is an eigenvalue, so lambda = 1.
+  EXPECT_NEAR(lambda_exact(cycle(n)), 1.0, 1e-9);
+}
+
+TEST(Spectral, OddCycleLambdaBelowOne) {
+  // Odd cycle: eigenvalues cos(2 pi k / n); the most negative one,
+  // -cos(pi/n), dominates in absolute value.
+  const int n = 13;
+  double l = lambda_exact(cycle(n));
+  EXPECT_LT(l, 1.0);
+  EXPECT_NEAR(l, std::cos(std::numbers::pi / n), 1e-9);
+}
+
+TEST(Spectral, HypercubeSpectrum) {
+  // Q_d normalized eigenvalues are 1 - 2k/d.
+  auto eig = symmetric_eigenvalues(normalized_adjacency(hypercube(3)));
+  EXPECT_NEAR(eig[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig.back(), -1.0, 1e-9);
+  EXPECT_NEAR(lambda_exact(hypercube(3)), 1.0, 1e-9);  // bipartite
+}
+
+TEST(Spectral, PetersenLambda) {
+  // Petersen adjacency eigenvalues: 3, 1 (x5), -2 (x4) -> normalized 1/3
+  // second, 2/3 most negative; lambda = 2/3.
+  EXPECT_NEAR(lambda_exact(petersen()), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Spectral, K33Bipartite) {
+  EXPECT_NEAR(lambda_exact(k33()), 1.0, 1e-9);
+}
+
+TEST(Spectral, PowerIterationMatchesExact) {
+  for (const Graph& g : {petersen(), complete(9), cycle(15), prism(6)}) {
+    double exact = lambda_exact(g);
+    double power = lambda_power(g, 3000);
+    EXPECT_NEAR(power, exact, 5e-3) << describe(g);
+  }
+}
+
+TEST(Spectral, PowerIterationLargeGraph) {
+  Graph g = random_connected_regular(400, 3, 7);
+  double l = lambda_power(g, 600);
+  // Random cubic graphs are near-Ramanujan: lambda ~ 2*sqrt(2)/3 ≈ 0.9428.
+  EXPECT_GT(l, 0.85);
+  EXPECT_LT(l, 0.99);
+}
+
+TEST(Spectral, Validation) {
+  EXPECT_THROW(lambda_exact(GraphBuilder(1).build()), std::invalid_argument);
+  EXPECT_THROW(lambda_exact(from_edges(3, {{0, 1}})), std::invalid_argument);
+  EXPECT_THROW(normalized_adjacency(GraphBuilder(2).build()),
+               std::invalid_argument);
+}
+
+TEST(Spectral, LoopsLowerLambdaOfCycle) {
+  // Adding a half loop to every vertex of an even cycle destroys
+  // bipartiteness and pulls lambda strictly below 1.
+  GraphBuilder b(8);
+  for (NodeId i = 0; i < 8; ++i) b.add_edge(i, (i + 1) % 8);
+  for (NodeId i = 0; i < 8; ++i) b.add_half_loop(i);
+  Graph g = std::move(b).build();
+  EXPECT_LT(lambda_exact(g), 1.0 - 1e-6);
+}
+
+}  // namespace
+}  // namespace uesr::graph

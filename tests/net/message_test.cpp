@@ -1,0 +1,60 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace uesr::net {
+namespace {
+
+TEST(HeaderBits, RouteHeaderComposition) {
+  // namespace 2^16, L = 2^20-1: 2 kind + 16 s + 16 t + 1 dir + 1 status +
+  // 20 index.
+  EXPECT_EQ(header_bits(Kind::kRoute, 1ULL << 16, (1ULL << 20) - 1),
+            2 + 16 + 16 + 1 + 1 + 20);
+}
+
+TEST(HeaderBits, BroadcastDropsTarget) {
+  int route = header_bits(Kind::kRoute, 1 << 10, 1000);
+  int bcast = header_bits(Kind::kBroadcast, 1 << 10, 1000);
+  EXPECT_EQ(route - bcast, 10);
+}
+
+TEST(HeaderBits, ProbesCarryTheirFields) {
+  int route = header_bits(Kind::kRoute, 1 << 10, 1000);
+  int ret = header_bits(Kind::kRetrieve, 1 << 10, 1000);
+  int retn = header_bits(Kind::kRetrieveNeighbor, 1 << 10, 1000);
+  EXPECT_GT(ret, route);
+  EXPECT_GT(retn, ret);
+}
+
+TEST(HeaderBits, LogarithmicGrowth) {
+  // Doubling the namespace adds exactly 2 bits (s and t).
+  for (int k = 4; k < 40; ++k) {
+    int a = header_bits(Kind::kRoute, 1ULL << k, 1000);
+    int b = header_bits(Kind::kRoute, 1ULL << (k + 1), 1000);
+    EXPECT_EQ(b - a, 2);
+  }
+}
+
+TEST(HeaderBits, RejectsEmptyNamespace) {
+  EXPECT_THROW(header_bits(Kind::kRoute, 0, 10), std::invalid_argument);
+}
+
+TEST(NodeWorkingBits, DominatedByHeader) {
+  int h = header_bits(Kind::kRetrieveNeighbor, 1 << 20, 1 << 24);
+  int w = node_working_bits(1 << 20, 1 << 24);
+  EXPECT_GT(w, h);
+  EXPECT_LT(w, 2 * h);  // still O(log n)
+}
+
+TEST(Header, Defaults) {
+  Header h;
+  EXPECT_EQ(h.kind, Kind::kRoute);
+  EXPECT_EQ(h.dir, Direction::kForward);
+  EXPECT_EQ(h.status, Status::kInProgress);
+  EXPECT_EQ(h.index, 0u);
+  EXPECT_EQ(h.target, kNoTarget);
+  EXPECT_EQ(h.payload_name, kNoTarget);
+}
+
+}  // namespace
+}  // namespace uesr::net

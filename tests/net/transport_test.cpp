@@ -1,0 +1,61 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace uesr::net {
+namespace {
+
+TEST(Transport, DeliversToFarEndWithArrivalPort) {
+  graph::Graph g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  Transport tr(g);
+  Arrival a = tr.send(0, 0);
+  EXPECT_EQ(a.node, 1u);
+  EXPECT_EQ(a.port, 0u);
+  Arrival b = tr.send(1, 1);
+  EXPECT_EQ(b.node, 2u);
+  EXPECT_EQ(b.port, 0u);
+}
+
+TEST(Transport, CountsTransmissions) {
+  graph::Graph g = graph::cycle(4);
+  Transport tr(g);
+  EXPECT_EQ(tr.transmissions(), 0u);
+  tr.send(0, 0);
+  tr.send(1, 1);
+  EXPECT_EQ(tr.transmissions(), 2u);
+  tr.reset_transmissions();
+  EXPECT_EQ(tr.transmissions(), 0u);
+}
+
+TEST(Transport, HalfLoopDeliversBackToSender) {
+  graph::GraphBuilder b(1);
+  b.add_half_loop(0);
+  graph::Graph g = std::move(b).build();
+  Transport tr(g);
+  Arrival a = tr.send(0, 0);
+  EXPECT_EQ(a.node, 0u);
+  EXPECT_EQ(a.port, 0u);
+}
+
+TEST(Transport, FullLoopDeliversToOtherPort) {
+  graph::GraphBuilder b(1);
+  b.add_edge(0, 0);
+  graph::Graph g = std::move(b).build();
+  Transport tr(g);
+  Arrival a = tr.send(0, 0);
+  EXPECT_EQ(a.node, 0u);
+  EXPECT_EQ(a.port, 1u);
+}
+
+TEST(Transport, ValidatesArguments) {
+  graph::Graph g = graph::cycle(3);
+  Transport tr(g);
+  EXPECT_THROW(tr.send(5, 0), std::invalid_argument);
+  EXPECT_THROW(tr.send(0, 7), std::invalid_argument);
+  EXPECT_EQ(tr.transmissions(), 0u);  // failed sends are not counted
+}
+
+}  // namespace
+}  // namespace uesr::net

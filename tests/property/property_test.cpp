@@ -1,0 +1,273 @@
+// Cross-module property sweeps, parameterized over a zoo of topologies.
+//
+// These are the invariants the paper's correctness rests on, checked on
+// every family at once:
+//   P1  walk reversibility: reverse_step inverts forward_step everywhere;
+//   P2  backtrack replay: a walked prefix rewinds to its exact start;
+//   P3  degree reduction: 3-regular, size = sum max(deg,3), padding
+//       half-loop count, external-edge mirror, component preservation;
+//   P4  routing: delivered == BFS-reachable for all pairs; success cost
+//       identity tx = 2*(fwd+1); failure cost identity tx = 2*(L+1);
+//   P5  broadcast covers exactly the component;
+//   P6  census (CountNodes) equals BFS component sizes;
+//   P7  cover times are prefix-stable (a longer sequence with the same
+//       seed covers at the same step).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "core/api.h"
+#include "core/count_nodes.h"
+#include "explore/degree_reduce.h"
+#include "explore/walker.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace uesr {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  std::function<graph::Graph()> make;
+};
+
+void PrintTo(const GraphCase& c, std::ostream* os) { *os << c.name; }
+
+class GraphZoo : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  graph::Graph g_ = GetParam().make();
+};
+
+// ---- P1: reversibility everywhere -----------------------------------
+
+TEST_P(GraphZoo, ReverseInvertsForward) {
+  // Degree-0 vertices have no half-edges to walk; everything else must
+  // satisfy the inversion identity.
+  for (graph::NodeId v = 0; v < g_.num_nodes(); ++v)
+    for (graph::Port p = 0; p < g_.degree(v); ++p)
+      for (explore::Symbol t = 0; t < 4; ++t) {
+        graph::HalfEdge d{v, p};
+        EXPECT_EQ(explore::reverse_step(g_, explore::forward_step(g_, d, t), t),
+                  d);
+      }
+}
+
+// ---- P2: a walked prefix rewinds exactly ------------------------------
+
+TEST_P(GraphZoo, BacktrackReplayReturnsToStart) {
+  if (g_.num_nodes() == 0 || g_.degree(0) == 0) GTEST_SKIP();
+  explore::RandomExplorationSequence seq(99, 400, g_.num_nodes());
+  graph::HalfEdge start{0, 0};
+  auto tr = explore::trace_walk(g_, start, seq, 400);
+  graph::HalfEdge d = tr.departures.back();
+  for (std::uint64_t j = tr.departures.size() - 1; j >= 1; --j)
+    d = explore::reverse_step(g_, d, seq.symbol(j));
+  EXPECT_EQ(d, start);
+}
+
+// ---- P3: degree reduction invariants ----------------------------------
+
+TEST_P(GraphZoo, ReductionIsCubicWithExactSize) {
+  explore::ReducedGraph r = explore::reduce_to_cubic(g_);
+  EXPECT_TRUE(r.cubic.is_regular(3));
+  std::size_t expect = 0;
+  for (graph::NodeId v = 0; v < g_.num_nodes(); ++v)
+    expect += std::max<graph::Port>(g_.degree(v), 3);
+  EXPECT_EQ(r.cubic.num_nodes(), expect);
+}
+
+TEST_P(GraphZoo, ReductionPadsExactlyTheMissingPorts) {
+  explore::ReducedGraph r = explore::reduce_to_cubic(g_);
+  std::size_t half_loops = 0;
+  for (graph::NodeId v = 0; v < r.cubic.num_nodes(); ++v)
+    for (graph::Port p = 0; p < 3; ++p)
+      if (r.cubic.is_half_loop(v, p)) ++half_loops;
+  std::size_t expect = 0;
+  for (graph::NodeId v = 0; v < g_.num_nodes(); ++v) {
+    // Original half-loops survive as gadget half-loops; padding adds one
+    // per missing port below degree 3.
+    if (g_.degree(v) < 3) expect += 3 - g_.degree(v);
+    for (graph::Port p = 0; p < g_.degree(v); ++p)
+      if (g_.is_half_loop(v, p)) ++expect;
+  }
+  EXPECT_EQ(half_loops, expect);
+}
+
+TEST_P(GraphZoo, ReductionMirrorsEveryOriginalEdge) {
+  explore::ReducedGraph r = explore::reduce_to_cubic(g_);
+  for (graph::NodeId v = 0; v < g_.num_nodes(); ++v)
+    for (graph::Port p = 0; p < g_.degree(v); ++p) {
+      graph::HalfEdge far = g_.rotate(v, p);
+      EXPECT_EQ(r.cubic.rotate(r.gadget(v, p), 2),
+                (graph::HalfEdge{r.gadget(far.node, far.port), 2}));
+    }
+}
+
+TEST_P(GraphZoo, ReductionPreservesComponents) {
+  explore::ReducedGraph r = explore::reduce_to_cubic(g_);
+  auto orig = graph::connected_components(g_);
+  auto red = graph::connected_components(r.cubic);
+  for (graph::NodeId u = 0; u < g_.num_nodes(); ++u)
+    for (graph::NodeId v = u + 1; v < g_.num_nodes(); ++v)
+      EXPECT_EQ(orig[u] == orig[v],
+                red[r.entry_gadget(u)] == red[r.entry_gadget(v)]);
+}
+
+// ---- P4/P5: routing and broadcast against ground truth ----------------
+
+TEST_P(GraphZoo, RoutingMatchesReachabilityAllPairs) {
+  if (g_.num_nodes() == 0) GTEST_SKIP();
+  core::AdHocNetwork net(g_);
+  for (graph::NodeId s = 0; s < g_.num_nodes(); ++s)
+    for (graph::NodeId t = 0; t < g_.num_nodes(); ++t) {
+      auto r = net.route(s, t);
+      EXPECT_EQ(r.delivered, graph::has_path(g_, s, t))
+          << s << " -> " << t;
+    }
+}
+
+TEST_P(GraphZoo, SuccessAndFailureCostIdentities) {
+  if (g_.num_nodes() < 2) GTEST_SKIP();
+  core::AdHocNetwork net(g_);
+  const std::uint64_t L = net.router().sequence().length();
+  for (graph::NodeId t = 1; t < g_.num_nodes(); ++t) {
+    auto r = net.route(0, t);
+    if (r.delivered)
+      EXPECT_EQ(r.total_transmissions, 2 * (r.forward_steps + 1));
+    else
+      EXPECT_EQ(r.total_transmissions, 2 * (L + 1));
+  }
+}
+
+TEST_P(GraphZoo, BroadcastCoversExactlyTheComponent) {
+  if (g_.num_nodes() == 0) GTEST_SKIP();
+  core::AdHocNetwork net(g_);
+  auto b = net.broadcast(0);
+  auto comp = graph::component_of(g_, 0);
+  EXPECT_EQ(b.distinct_visited, comp.size());
+  std::vector<bool> in_comp(g_.num_nodes(), false);
+  for (graph::NodeId v : comp) in_comp[v] = true;
+  for (graph::NodeId v = 0; v < g_.num_nodes(); ++v)
+    EXPECT_EQ(b.visited_originals[v], in_comp[v]) << "v=" << v;
+}
+
+// ---- P6: census --------------------------------------------------------
+
+TEST_P(GraphZoo, CensusMatchesBfs) {
+  if (g_.num_nodes() == 0) GTEST_SKIP();
+  core::AdHocNetwork net(g_);
+  auto c = net.count_component(0);
+  EXPECT_EQ(c.original_count, graph::component_of(g_, 0).size());
+  explore::ReducedGraph r = explore::reduce_to_cubic(g_);
+  EXPECT_EQ(c.gadget_count,
+            graph::component_of(r.cubic, r.entry_gadget(0)).size());
+}
+
+// ---- P7: cover prefix stability ----------------------------------------
+
+TEST_P(GraphZoo, CoverTimeIsPrefixStable) {
+  if (g_.num_nodes() == 0 || g_.degree(0) == 0) GTEST_SKIP();
+  explore::RandomExplorationSequence short_seq(7, 2000, g_.num_nodes());
+  explore::RandomExplorationSequence long_seq(7, 8000, g_.num_nodes());
+  auto a = explore::cover_time(g_, {0, 0}, short_seq);
+  auto b = explore::cover_time(g_, {0, 0}, long_seq);
+  if (a.has_value()) {
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);  // same seed => same prefix => same cover step
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, GraphZoo,
+    ::testing::Values(
+        GraphCase{"path7", [] { return graph::path(7); }},
+        GraphCase{"cycle9", [] { return graph::cycle(9); }},
+        GraphCase{"star5", [] { return graph::star(5); }},
+        GraphCase{"k5", [] { return graph::complete(5); }},
+        GraphCase{"grid3x4", [] { return graph::grid(3, 4); }},
+        GraphCase{"petersen", [] { return graph::petersen(); }},
+        GraphCase{"binary_tree11", [] { return graph::binary_tree(11); }},
+        GraphCase{"lollipop4_4", [] { return graph::lollipop(4, 4); }},
+        GraphCase{"two_triangles",
+                  [] {
+                    return graph::from_edges(
+                        6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+                  }},
+        GraphCase{"three_islands",
+                  [] {
+                    return graph::from_edges(7,
+                                             {{0, 1}, {2, 3}, {3, 4}, {2, 4}});
+                  }},
+        GraphCase{"loopy",
+                  [] {
+                    graph::GraphBuilder b(3);
+                    b.add_edge(0, 1);
+                    b.add_edge(0, 0);
+                    b.add_half_loop(1);
+                    b.add_edge(1, 2);
+                    b.add_edge(1, 2);
+                    b.add_half_loop(2);
+                    return std::move(b).build();
+                  }},
+        GraphCase{"gnp12", [] { return graph::gnp(12, 0.25, 5); }},
+        GraphCase{"cubic10",
+                  [] { return graph::random_connected_regular(10, 3, 2); }},
+        GraphCase{"tree13", [] { return graph::random_tree(13, 9); }}),
+    [](const ::testing::TestParamInfo<GraphCase>& info) {
+      return info.param.name;
+    });
+
+// ---- relabeling invariance ---------------------------------------------
+// The walk itself changes under a port relabelling, but Theorem 1's truth
+// ("delivered iff reachable") must not.
+
+TEST_P(GraphZoo, DeliveryTruthInvariantUnderRelabeling) {
+  if (g_.num_nodes() < 2) GTEST_SKIP();
+  util::Pcg32 rng(13);
+  for (int trial = 0; trial < 3; ++trial) {
+    graph::Graph relabeled = g_.randomly_relabeled(rng);
+    core::AdHocNetwork net(relabeled);
+    for (graph::NodeId t = 1; t < relabeled.num_nodes(); t += 2)
+      EXPECT_EQ(net.route(0, t).delivered, graph::has_path(relabeled, 0, t))
+          << "trial " << trial << " t=" << t;
+  }
+}
+
+TEST_P(GraphZoo, CensusInvariantUnderRelabeling) {
+  if (g_.num_nodes() == 0) GTEST_SKIP();
+  util::Pcg32 rng(29);
+  graph::Graph relabeled = g_.randomly_relabeled(rng);
+  core::AdHocNetwork a(g_), b(relabeled);
+  EXPECT_EQ(a.count_component(0).original_count,
+            b.count_component(0).original_count);
+}
+
+// ---- sequence-seed sweep: routing determinism and seed independence ----
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, DeliveryIsSeedIndependentOnConnectedGraph) {
+  graph::Graph g = graph::connected_gnp(14, 0.25, 3);
+  core::Options opt;
+  opt.seed = GetParam();
+  core::AdHocNetwork net(g, opt);
+  for (graph::NodeId t = 1; t < g.num_nodes(); t += 3)
+    EXPECT_TRUE(net.route(0, t).delivered) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweep, CensusIsSeedIndependent) {
+  graph::Graph g = graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {4, 5}});
+  explore::ReducedGraph r = explore::reduce_to_cubic(g);
+  auto res = core::count_nodes(r, 0,
+                               core::default_sequence_family(GetParam()));
+  EXPECT_EQ(res.original_count, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 42ULL, 999ULL,
+                                           0xdeadbeefULL, 0x5eed0001ULL,
+                                           77777ULL));
+
+}  // namespace
+}  // namespace uesr

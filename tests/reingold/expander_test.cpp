@@ -1,0 +1,53 @@
+#include "reingold/expander.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/spectral.h"
+
+namespace uesr::reingold {
+namespace {
+
+TEST(Expander, RamanujanBoundValues) {
+  EXPECT_NEAR(ramanujan_bound(3), 2.0 * std::sqrt(2.0) / 3.0, 1e-12);
+  EXPECT_NEAR(ramanujan_bound(4), std::sqrt(3.0) / 2.0, 1e-12);
+  EXPECT_THROW(ramanujan_bound(1), std::invalid_argument);
+}
+
+TEST(Expander, FindsGoodCubicExpander) {
+  ExpanderInfo h = find_expander(30, 3, 42, 25);
+  EXPECT_EQ(h.rotation.num_vertices(), 30u);
+  EXPECT_EQ(h.rotation.degree(), 3u);
+  // Near-Ramanujan: within 10% of the bound is routine for random cubic.
+  EXPECT_LT(h.lambda, ramanujan_bound(3) * 1.12);
+  graph::Graph g = h.rotation.to_graph();
+  EXPECT_TRUE(graph::is_connected(g));
+  EXPECT_FALSE(graph::is_bipartite(g));
+}
+
+TEST(Expander, Degree4Search) {
+  ExpanderInfo h = find_expander(64, 4, 7, 20);
+  EXPECT_LT(h.lambda, ramanujan_bound(4) * 1.15);
+}
+
+TEST(Expander, LambdaFieldMatchesGraph) {
+  ExpanderInfo h = find_expander(40, 3, 99, 10);
+  double check = graph::lambda_exact(h.rotation.to_graph());
+  EXPECT_NEAR(h.lambda, check, 2e-2);
+}
+
+TEST(Expander, DeterministicPerSeed) {
+  ExpanderInfo a = find_expander(20, 3, 5, 8);
+  ExpanderInfo b = find_expander(20, 3, 5, 8);
+  EXPECT_EQ(a.rotation.to_graph(), b.rotation.to_graph());
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+}
+
+TEST(Expander, RejectsImpossibleParameters) {
+  EXPECT_THROW(find_expander(3, 3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::reingold

@@ -1,0 +1,150 @@
+#include "reingold/products.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/spectral.h"
+#include "reingold/expander.h"
+
+namespace uesr::reingold {
+namespace {
+
+std::shared_ptr<const RotationOracle> oracle_of(const graph::Graph& g) {
+  return share(DenseRotationMap::from_graph(g));
+}
+
+/// Involution property of any oracle, checked exhaustively.
+void expect_involution(const RotationOracle& o) {
+  for (std::uint64_t v = 0; v < o.num_vertices(); ++v)
+    for (std::uint32_t i = 0; i < o.degree(); ++i) {
+      Place p{v, i};
+      Place q = o.rotate(p);
+      ASSERT_LT(q.vertex, o.num_vertices());
+      ASSERT_LT(q.edge, o.degree());
+      EXPECT_EQ(o.rotate(q), p) << "v=" << v << " i=" << i;
+    }
+}
+
+TEST(Power, SquareOfCycleStructure) {
+  auto c8 = oracle_of(graph::cycle(8));
+  auto sq = power(c8, 2);
+  EXPECT_EQ(sq->num_vertices(), 8u);
+  EXPECT_EQ(sq->degree(), 4u);
+  expect_involution(*sq);
+}
+
+TEST(Power, WalkSemantics) {
+  // Power-walk labels are absolute ports at each visited vertex.  On
+  // cycle(6), vertex 0's port 0 leads to 1 (arriving on 1's port 0), and
+  // vertex 1's port 1 leads to 2.  Edge encoding is little-endian:
+  // (a1, a2) = (0, 1) -> index 0 + 1*2 = 2.
+  auto sq = power(oracle_of(graph::cycle(6)), 2);
+  Place q = sq->rotate({0, 2});
+  EXPECT_EQ(q.vertex, 2u);
+  // And (0, 0) walks 0 -> 1 -> back to 0 (port 0 of vertex 1 returns).
+  EXPECT_EQ(sq->rotate({0, 0}).vertex, 0u);
+}
+
+TEST(Power, LambdaIsLambdaToTheK) {
+  graph::Graph g = graph::petersen();
+  double l1 = graph::lambda_exact(g);
+  auto sq = power(oracle_of(g), 2);
+  graph::Graph g2 = DenseRotationMap::materialize(*sq).to_graph();
+  double l2 = graph::lambda_exact(g2);
+  EXPECT_NEAR(l2, l1 * l1, 1e-9);
+  auto cube = power(oracle_of(g), 3);
+  graph::Graph g3 = DenseRotationMap::materialize(*cube).to_graph();
+  EXPECT_NEAR(graph::lambda_exact(g3), l1 * l1 * l1, 1e-9);
+}
+
+TEST(Power, PreservesConnectivity) {
+  graph::Graph g = graph::random_connected_regular(12, 3, 5);
+  auto sq = power(oracle_of(g), 2);
+  graph::Graph g2 = DenseRotationMap::materialize(*sq).to_graph();
+  EXPECT_TRUE(graph::is_connected(g2));
+}
+
+TEST(Power, RejectsBadParameters) {
+  auto o = oracle_of(graph::cycle(4));
+  EXPECT_THROW(power(o, 0), std::invalid_argument);
+  EXPECT_THROW(power(o, 31), std::invalid_argument);  // degree overflow
+}
+
+TEST(Zigzag, SizesAndInvolution) {
+  // G: 6-cycle is 2-regular; H must have 2 vertices: use the theta-like
+  // multigraph on 2 vertices with parallel edges (2-regular: C2).
+  graph::Graph g = graph::cycle(6);
+  graph::Graph h = graph::from_edges(2, {{0, 1}, {0, 1}});  // 2-regular
+  auto zz = zigzag(oracle_of(g), oracle_of(h));
+  EXPECT_EQ(zz->num_vertices(), 12u);
+  EXPECT_EQ(zz->degree(), 4u);
+  expect_involution(*zz);
+}
+
+TEST(Zigzag, RequiresMatchingSizes) {
+  auto g = oracle_of(graph::cycle(6));           // degree 2
+  auto h = oracle_of(graph::cycle(3));           // 3 vertices != 2
+  EXPECT_THROW(zigzag(g, h), std::invalid_argument);
+}
+
+TEST(Zigzag, PreservesConnectivity) {
+  graph::Graph g = graph::random_connected_regular(10, 4, 7);
+  graph::Graph h = graph::cycle(4);  // 4 vertices, 2-regular
+  auto zz = zigzag(oracle_of(g), oracle_of(h));
+  graph::Graph z = DenseRotationMap::materialize(*zz).to_graph();
+  EXPECT_TRUE(graph::is_connected(z));
+  EXPECT_TRUE(z.is_regular(4));
+}
+
+TEST(Zigzag, RvwSpectralBoundHolds) {
+  // lambda(G z H) <= lambda(G) + lambda(H) + lambda(H)^2 (RVW Thm 4.3).
+  graph::Graph g = graph::random_connected_regular(24, 6, 3);
+  ExpanderInfo h = find_expander(6, 3, 11, 30);  // (6,3) little expander
+  double lg = graph::lambda_exact(g);
+  double lh = h.lambda;
+  auto zz = zigzag(oracle_of(g), share(std::move(h.rotation)));
+  graph::Graph z = DenseRotationMap::materialize(*zz).to_graph();
+  double lz = graph::lambda_exact(z);
+  EXPECT_LE(lz, lg + lh + lh * lh + 1e-9);
+}
+
+TEST(Replacement, SizesAndStructure) {
+  graph::Graph g = graph::k4();        // 3-regular
+  graph::Graph h = graph::cycle(3);    // 3 vertices, 2-regular
+  auto rp = replacement(oracle_of(g), oracle_of(h));
+  EXPECT_EQ(rp->num_vertices(), 12u);
+  EXPECT_EQ(rp->degree(), 3u);
+  expect_involution(*rp);
+  graph::Graph r = DenseRotationMap::materialize(*rp).to_graph();
+  EXPECT_TRUE(graph::is_connected(r));
+  EXPECT_TRUE(r.is_regular(3));
+}
+
+TEST(Replacement, CloudEdgesStayInCloud) {
+  graph::Graph g = graph::k4();
+  graph::Graph h = graph::cycle(3);
+  auto rp = replacement(oracle_of(g), oracle_of(h));
+  // Labels < deg(H) move within the same cloud (same G-vertex).
+  for (std::uint64_t v = 0; v < rp->num_vertices(); ++v)
+    for (std::uint32_t i = 0; i + 1 < rp->degree(); ++i)
+      EXPECT_EQ(rp->rotate({v, i}).vertex / 3, v / 3);
+  // The last label always crosses clouds.
+  for (std::uint64_t v = 0; v < rp->num_vertices(); ++v)
+    EXPECT_NE(rp->rotate({v, 2}).vertex / 3, v / 3);
+}
+
+TEST(Products, ComposeLazily) {
+  // (C12^2 z C4): composition of oracles without materializing inner
+  // results.
+  auto g = power(oracle_of(graph::cycle(12)), 2);  // degree 4
+  auto zz = zigzag(g, oracle_of(graph::cycle(4)));
+  EXPECT_EQ(zz->num_vertices(), 48u);
+  EXPECT_EQ(zz->degree(), 4u);
+  expect_involution(*zz);
+}
+
+}  // namespace
+}  // namespace uesr::reingold

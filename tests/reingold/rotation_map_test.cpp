@@ -1,0 +1,86 @@
+#include "reingold/rotation_map.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace uesr::reingold {
+namespace {
+
+TEST(RotationMap, DefaultsToSelfLoops) {
+  DenseRotationMap m(3, 2);
+  m.validate();
+  EXPECT_EQ(m.rotate({1, 0}), (Place{1, 0}));
+}
+
+TEST(RotationMap, SetIsSymmetric) {
+  DenseRotationMap m(2, 2);
+  m.set({0, 0}, {1, 1});
+  EXPECT_EQ(m.rotate({0, 0}), (Place{1, 1}));
+  EXPECT_EQ(m.rotate({1, 1}), (Place{0, 0}));
+  m.validate();
+}
+
+TEST(RotationMap, FromGraphRoundTrip) {
+  graph::Graph g = graph::petersen();
+  DenseRotationMap m = DenseRotationMap::from_graph(g);
+  EXPECT_EQ(m.num_vertices(), 10u);
+  EXPECT_EQ(m.degree(), 3u);
+  EXPECT_EQ(m.to_graph(), g);
+}
+
+TEST(RotationMap, FromGraphRejectsIrregular) {
+  EXPECT_THROW(DenseRotationMap::from_graph(graph::path(3)),
+               std::invalid_argument);
+}
+
+TEST(RotationMap, FromGraphKeepsLoops) {
+  graph::GraphBuilder b(1);
+  b.add_edge(0, 0);
+  b.add_half_loop(0);
+  graph::Graph g = std::move(b).build();
+  DenseRotationMap m = DenseRotationMap::from_graph(g);
+  EXPECT_EQ(m.rotate({0, 0}), (Place{0, 1}));  // full loop swaps ports
+  EXPECT_EQ(m.rotate({0, 2}), (Place{0, 2}));  // half loop is a fixed point
+}
+
+TEST(RotationMap, PadToRegularAddsFixedPoints) {
+  graph::Graph g = graph::path(4);  // degrees 1,2,2,1
+  DenseRotationMap m = pad_to_regular(g, 4);
+  EXPECT_EQ(m.degree(), 4u);
+  m.validate();
+  // Node 0 keeps its one real edge and gains 3 self-loops.
+  EXPECT_EQ(m.rotate({0, 0}).vertex, 1u);
+  for (std::uint32_t i = 1; i < 4; ++i)
+    EXPECT_EQ(m.rotate({0, i}), (Place{0, i}));
+  // Connectivity is unchanged.
+  EXPECT_TRUE(graph::is_connected(m.to_graph()));
+}
+
+TEST(RotationMap, PadRejectsTooSmallDegree) {
+  EXPECT_THROW(pad_to_regular(graph::star(5), 3), std::invalid_argument);
+}
+
+TEST(RotationMap, ValidateCatchesCorruption) {
+  DenseRotationMap m(2, 1);
+  m.set({0, 0}, {1, 0});
+  m.set({1, 0}, {1, 0});  // breaks the earlier pairing
+  EXPECT_THROW(m.validate(), std::logic_error);
+}
+
+TEST(RotationMap, BoundsChecked) {
+  DenseRotationMap m(2, 2);
+  EXPECT_THROW(m.rotate({5, 0}), std::out_of_range);
+  EXPECT_THROW(m.rotate({0, 5}), std::out_of_range);
+  EXPECT_THROW(m.set({0, 0}, {9, 0}), std::out_of_range);
+}
+
+TEST(RotationMap, MaterializeCopiesOracle) {
+  DenseRotationMap m = DenseRotationMap::from_graph(graph::cycle(6));
+  DenseRotationMap copy = DenseRotationMap::materialize(m);
+  EXPECT_EQ(copy.to_graph(), m.to_graph());
+}
+
+}  // namespace
+}  // namespace uesr::reingold

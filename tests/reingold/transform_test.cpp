@@ -1,0 +1,126 @@
+#include "reingold/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/spectral.h"
+
+namespace uesr::reingold {
+namespace {
+
+/// Tiny legal parameter set: d = 4, k = 1 -> D = 16.  H must be
+/// NON-BIPARTITE: in the zig-zag product, moving inside a cloud costs two
+/// H-steps (zig + zag across a self-loop), so a bipartite H can only reach
+/// even H-distances and the product may disconnect — this is one concrete
+/// reason Reingold's H is a genuine expander.  (A C16 "H" really does
+/// break connectivity here; the test suite guards the lesson.)
+TransformParams tiny_params() {
+  static const ExpanderInfo h = find_expander(16, 4, 0xbeef, 30);
+  TransformParams p;
+  p.h = share(DenseRotationMap::materialize(h.rotation));
+  p.k = 1;
+  return p;
+}
+
+TEST(TransformParams, ValidatesTelescoping) {
+  TransformParams p = tiny_params();
+  EXPECT_NO_THROW(p.validate());
+  TransformParams bad;
+  bad.h = share(DenseRotationMap::from_graph(graph::cycle(12)));
+  bad.k = 2;  // 12 != 2^4
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  TransformParams null;
+  null.k = 2;
+  EXPECT_THROW(null.validate(), std::invalid_argument);
+}
+
+TEST(Transform, LevelSizesAndDegree) {
+  TransformParams p = tiny_params();
+  auto g0 = share(pad_to_regular(graph::cycle(5), 16));
+  auto ladder = transform_ladder(g0, p, 2);
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_EQ(ladder[0]->num_vertices(), 5u);
+  EXPECT_EQ(ladder[1]->num_vertices(), 5u * 16);
+  EXPECT_EQ(ladder[2]->num_vertices(), 5u * 16 * 16);
+  for (const auto& g : ladder) EXPECT_EQ(g->degree(), 16u);
+}
+
+TEST(Transform, LevelOneIsValidInvolution) {
+  TransformParams p = tiny_params();
+  auto g0 = share(pad_to_regular(graph::cycle(4), 16));
+  auto g1 = transform_level(g0, p);
+  DenseRotationMap m = DenseRotationMap::materialize(*g1);  // also validates
+  EXPECT_EQ(m.num_vertices(), 64u);
+}
+
+TEST(Transform, PreservesConnectivity) {
+  TransformParams p = tiny_params();
+  auto g0 = share(pad_to_regular(graph::path(4), 16));
+  auto ladder = transform_ladder(g0, p, 2);
+  for (std::size_t lvl = 0; lvl < ladder.size(); ++lvl) {
+    graph::Graph g = DenseRotationMap::materialize(*ladder[lvl]).to_graph();
+    EXPECT_TRUE(graph::is_connected(g)) << "level " << lvl;
+  }
+}
+
+TEST(Transform, PreservesDisconnection) {
+  // Two components stay two components at every level.
+  TransformParams p = tiny_params();
+  graph::Graph g = graph::from_edges(4, {{0, 1}, {2, 3}});
+  auto g0 = share(pad_to_regular(g, 16));
+  auto g1 = transform_level(g0, p);
+  // Vertex (0, a) and vertex (2, b) must stay separated.
+  EXPECT_FALSE(oracle_connected(*g1, 0 * 16, 2 * 16));
+  EXPECT_TRUE(oracle_connected(*g1, 0 * 16, 1 * 16));
+}
+
+TEST(Transform, MismatchedDegreeRejected) {
+  TransformParams p = tiny_params();
+  auto wrong = share(pad_to_regular(graph::cycle(4), 8));  // 8 != 16
+  EXPECT_THROW(transform_level(wrong, p), std::invalid_argument);
+}
+
+TEST(LambdaOracle, AgreesWithExactOnKnownGraphs) {
+  for (const graph::Graph& g :
+       {graph::petersen(), graph::complete(8), graph::prism(5)}) {
+    auto o = share(DenseRotationMap::from_graph(g));
+    double est = lambda_oracle(*o, 1500, 7);
+    EXPECT_NEAR(est, graph::lambda_exact(g), 1e-2) << graph::describe(g);
+  }
+}
+
+TEST(OracleBfs, EccentricityMatchesGraphDiameterOnCycle) {
+  auto o = share(DenseRotationMap::from_graph(graph::cycle(10)));
+  EXPECT_EQ(oracle_eccentricity(*o, 0), 5u);
+}
+
+TEST(Transform, BipartiteHBreaksConnectivity) {
+  // Negative control: with H = C16 (bipartite), cloud-internal moves can
+  // only reach even H-distances and the product graph disconnects even
+  // though G0 is connected.  This is why the base graph must be a real
+  // (non-bipartite) expander.
+  TransformParams p;
+  p.h = share(DenseRotationMap::from_graph(graph::cycle(16)));
+  p.k = 2;  // D = 2^4 = 16: parameters are legal, the spectrum is not
+  EXPECT_NO_THROW(p.validate());
+  auto g0 = share(pad_to_regular(graph::path(4), 16));
+  auto g1 = transform_level(g0, p);
+  graph::Graph g = DenseRotationMap::materialize(*g1).to_graph();
+  EXPECT_FALSE(graph::is_connected(g));
+}
+
+TEST(Transform, SpectralGapDoesNotCollapse) {
+  // With a weak H (C16) we cannot expect amplification, but the measured
+  // lambda of level 1 must remain strictly below 1 when G0 is connected
+  // and non-bipartite (structure sanity, not the full Reingold claim —
+  // see bench E8 for the measured trajectory with a real expander H).
+  TransformParams p = tiny_params();
+  auto g0 = share(pad_to_regular(graph::lollipop(4, 2), 16));
+  auto g1 = transform_level(g0, p);
+  double l1 = lambda_oracle(*g1, 600, 3);
+  EXPECT_LT(l1, 1.0 - 1e-4);
+}
+
+}  // namespace
+}  // namespace uesr::reingold

@@ -1,0 +1,61 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace uesr::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  Cli c = make({"--n=42", "--name=web"});
+  EXPECT_EQ(c.get_int("n", 0), 42);
+  EXPECT_EQ(c.get("name", ""), "web");
+}
+
+TEST(Cli, SpaceForm) {
+  Cli c = make({"--n", "42"});
+  EXPECT_EQ(c.get_int("n", 0), 42);
+}
+
+TEST(Cli, BooleanFlag) {
+  Cli c = make({"--verbose"});
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_FALSE(c.get_bool("quiet", false));
+}
+
+TEST(Cli, Defaults) {
+  Cli c = make({});
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(c.get("missing", "x"), "x");
+}
+
+TEST(Cli, Positional) {
+  Cli c = make({"input.txt", "--n=1", "more"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "input.txt");
+  EXPECT_EQ(c.positional()[1], "more");
+}
+
+TEST(Cli, BadIntegerThrows) {
+  Cli c = make({"--n=abc"});
+  EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, BadBoolThrows) {
+  Cli c = make({"--flag=maybe"});
+  EXPECT_THROW(c.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Cli, DoubleParsing) {
+  Cli c = make({"--radius=0.25"});
+  EXPECT_DOUBLE_EQ(c.get_double("radius", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace uesr::util

@@ -1,0 +1,126 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace uesr::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownFirstValueOfSeedZero) {
+  // Reference value of the SplitMix64 stream from seed 0.
+  SplitMix64 g(0);
+  EXPECT_EQ(g.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(CounterHash, PureFunction) {
+  EXPECT_EQ(counter_hash(7, 1234), counter_hash(7, 1234));
+  EXPECT_NE(counter_hash(7, 1234), counter_hash(7, 1235));
+  EXPECT_NE(counter_hash(7, 1234), counter_hash(8, 1234));
+}
+
+TEST(CounterHash, NoObviousCollisionsInWindow) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t k = 0; k < 10000; ++k)
+    seen.insert(counter_hash(99, k));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, NextBelowInRange) {
+  Pcg32 g(3);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint32_t v = g.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Pcg32, NextBelowZeroThrows) {
+  Pcg32 g(3);
+  EXPECT_THROW(g.next_below(0), std::invalid_argument);
+}
+
+TEST(Pcg32, NextBelowCoversAllResidues) {
+  Pcg32 g(11);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg32, NextBelowRoughlyUniform) {
+  Pcg32 g(5);
+  std::map<std::uint32_t, int> counts;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[g.next_below(10)];
+  for (auto [v, c] : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9) << "residue " << v;
+    EXPECT_LT(c, kDraws / 10 * 1.1) << "residue " << v;
+  }
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 g(9);
+  double mean = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    double d = g.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    mean += d;
+  }
+  mean /= kDraws;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(Pcg32, WorksWithStdShuffleConcept) {
+  static_assert(std::uniform_random_bit_generator<Pcg32>);
+}
+
+TEST(CounterRng, StatelessIndexing) {
+  CounterRng r(1234);
+  std::uint64_t v5 = r.value(5);
+  r.value(100);  // unrelated query must not perturb anything
+  EXPECT_EQ(r.value(5), v5);
+}
+
+TEST(CounterRng, ValueBelowBounds) {
+  CounterRng r(77);
+  for (std::uint64_t k = 0; k < 5000; ++k) EXPECT_LT(r.value_below(k, 3), 3u);
+}
+
+TEST(CounterRng, ValueBelowZeroThrows) {
+  CounterRng r(77);
+  EXPECT_THROW(r.value_below(0, 0), std::invalid_argument);
+}
+
+TEST(CounterRng, TernaryRoughlyUniform) {
+  CounterRng r(3141);
+  int counts[3] = {0, 0, 0};
+  const int kDraws = 90000;
+  for (int k = 0; k < kDraws; ++k) ++counts[r.value_below(k, 3)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 3 * 0.95);
+    EXPECT_LT(c, kDraws / 3 * 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace uesr::util

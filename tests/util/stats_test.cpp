@@ -1,0 +1,105 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uesr::util {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MatchesSamples) {
+  OnlineStats o;
+  Samples s;
+  for (int i = 0; i < 100; ++i) {
+    double v = std::sin(i * 0.7) * 10 + i * 0.1;
+    o.add(v);
+    s.add(v);
+  }
+  EXPECT_NEAR(o.mean(), s.mean(), 1e-9);
+  EXPECT_NEAR(o.stddev(), s.stddev(), 1e-9);
+}
+
+TEST(Samples, PercentileEndpoints) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_NEAR(s.percentile(50), 15.0, 1e-12);
+  EXPECT_NEAR(s.percentile(25), 12.5, 1e-12);
+}
+
+TEST(Samples, PercentileValidation) {
+  Samples s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> xs{1, 2, 3, 4}, ys{3, 5, 7, 9};
+  auto f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, Validation) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW(linear_fit(one, one), std::invalid_argument);
+  std::vector<double> xs{2, 2}, ys{1, 3};
+  EXPECT_THROW(linear_fit(xs, ys), std::invalid_argument);
+}
+
+TEST(LogLogFit, RecoversPolynomialExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+    xs.push_back(x);
+    ys.push_back(3.5 * x * x * x);  // cubic law
+  }
+  auto f = loglog_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.5, 1e-9);
+}
+
+TEST(LogLogFit, RejectsNonPositive) {
+  std::vector<double> xs{1, 2}, ys{0, 1};
+  EXPECT_THROW(loglog_fit(xs, ys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::util

@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace uesr::util {
+namespace {
+
+TEST(Table, MarkdownBasic) {
+  Table t({"name", "count"});
+  t.row().cell("alpha").cell(3);
+  t.row().cell("b").cell(12345);
+  std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| name  | count |"), std::string::npos);
+  EXPECT_NE(md.find("| alpha | 3     |"), std::string::npos);
+  EXPECT_NE(md.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2.5, 2);
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, DoubleFormattingTrimsZeros) {
+  EXPECT_EQ(format_double(2.500, 3), "2.5");
+  EXPECT_EQ(format_double(2.0, 3), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(-1.50, 2), "-1.5");
+}
+
+TEST(Table, BoolCells) {
+  Table t({"x"});
+  t.row().cell(true);
+  t.row().cell(false);
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("yes"), std::string::npos);
+  EXPECT_NE(csv.find("no"), std::string::npos);
+}
+
+TEST(Table, Validation) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.cell(1), std::logic_error);  // no row started
+  t.row().cell(1).cell(2);
+  EXPECT_THROW(t.cell(3), std::logic_error);  // row full
+  t.row().cell(9);
+  EXPECT_THROW(t.row(), std::logic_error);  // previous row incomplete
+  EXPECT_THROW(t.to_markdown(), std::logic_error);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell(1);
+  t.row().cell(2);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace uesr::util
