@@ -15,6 +15,7 @@
 //     status home; if the topology changes mid-walk, the backtrack can
 //     derail.  Measured: fraction of walks whose backward replay fails to
 //     reach the origin after a random double-edge-swap halfway through.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (A1-A2) — expected shape lives there.
 #include "bench_common.h"
 
 #include "core/api.h"

@@ -7,6 +7,7 @@
 // factor) and far below the pure UES walk; on unreachable targets the
 // hybrid still terminates, with a certificate — which the random walk
 // alone can never produce.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E5) — expected shape lives there.
 #include "bench_common.h"
 
 #include "baselines/random_walk.h"

@@ -5,6 +5,7 @@
 //  * |V'| = sum_v max(deg v, 3) <= 2|E| + 3|V| (linear; "at most squaring"
 //    in the paper's worst-case phrasing);
 //  * connectivity structure is preserved.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E1) — expected shape lives there.
 #include "bench_common.h"
 
 #include <functional>

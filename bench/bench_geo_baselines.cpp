@@ -8,6 +8,7 @@
 //  * 3D sparse UDG: greedy stalls and NOTHING position-based repairs it
 //    (no planarization exists) — while UES stays at 100% everywhere, at
 //    the price of longer (poly) walks.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E9) — expected shape lives there.
 #include "bench_common.h"
 
 #include "baselines/geo.h"

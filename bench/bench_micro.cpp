@@ -1,6 +1,7 @@
 // E10: micro-benchmarks (google-benchmark) for the per-step costs that
 // the paper's complexity claims are built from: symbol evaluation, walk
 // steps, rotation-map products, degree reduction, and probe round trips.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E10) — expected shape lives there.
 #include <benchmark/benchmark.h>
 
 #include "core/count_nodes.h"

@@ -11,6 +11,7 @@
 //    growth xD, degree preserved, connectivity preserved, measured lambda
 //    trajectory, and eccentricity (diameter proxy) staying logarithmic-ish
 //    while the graph grows by 16x per level.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E8) — expected shape lives there.
 #include "bench_common.h"
 
 #include "graph/algorithms.h"

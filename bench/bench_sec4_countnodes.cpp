@@ -6,6 +6,7 @@
 // closure scan — and the doubling stops at the first bound whose walk
 // achieves neighbourhood closure.  Faithful mode (every hop sent) is run
 // on the small rows and must match fast mode bit for bit.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E6) — expected shape lives there.
 #include "bench_common.h"
 
 #include "core/count_nodes.h"

@@ -6,6 +6,7 @@
 // methods break) and returns certified failures exactly on the
 // disconnected pairs.  Random walk with a TTL misses some pairs; flooding
 // delivers everything but needs per-node state (model violation).
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E2) — expected shape lives there.
 #include "bench_common.h"
 
 #include <cmath>

@@ -5,6 +5,7 @@
 // name field) per doubling of the namespace — a straight line against
 // log2(n) — and stay minuscule (tens of bits) even at internet scale
 // (n = 2^32, the paper's IPv4 example).
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E4) — expected shape lives there.
 #include "bench_common.h"
 
 #include "explore/sequence.h"

@@ -4,6 +4,7 @@
 // the reduced component size (log-log slope ~2-3 for the pseudorandom
 // T_n family whose length is ~n^2 log n); the walk terminates within the
 // sequence budget on every trial; success transmissions = 2*(hit+1).
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E3) — expected shape lives there.
 #include "bench_common.h"
 
 #include <vector>

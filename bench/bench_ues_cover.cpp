@@ -7,6 +7,7 @@
 //  * short certified-universal sequences exist for small n (Definition 3
 //    made executable): the shipped certificate for n = 4 is re-verified
 //    exhaustively here, labelings x start edges and all.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E7) — expected shape lives there.
 #include "bench_common.h"
 
 #include "explore/certified.h"

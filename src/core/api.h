@@ -60,7 +60,7 @@ class AdHocNetwork {
   /// Full no-prior-knowledge pipeline: CountNodes learns |Cs'|, then
   /// routes with a sequence sized exactly for it.  A failed route is then
   /// a certificate that t is not in s's component (up to the empirical
-  /// universality of the sequence family; see DESIGN.md).
+  /// universality of the sequence family; see DESIGN.md §3).
   AdaptiveRouteResult route_adaptive(graph::NodeId s, graph::NodeId t,
                                      CountMode mode = CountMode::kFast) const;
 

@@ -9,7 +9,7 @@
 // which, when T_n is universal for |Cs'|, *certifies* that t is not in s's
 // component.
 //
-// Bookkeeping convention (see DESIGN.md "Fixes/clarifications"):
+// Bookkeeping convention (see DESIGN.md §2.4 "Fixes/clarifications"):
 //   * header.index = number of sequence symbols consumed so far (j);
 //   * forward arrival processing happens at the head of departure edge d_j;
 //   * turn-around resends over the arrival port with index unchanged;

@@ -3,7 +3,7 @@
 // Reingold's Theorem 4 supplies, for every n, a deterministically
 // constructed sequence T_n that is provably universal for 3-regular graphs
 // of size <= n.  Its constants are astronomically impractical (see
-// DESIGN.md), so this module produces concrete sequences whose universality
+// DESIGN.md §3), so this module produces concrete sequences whose universality
 // is *certified by enumeration* instead of by theorem:
 //
 //   corpus(n) = all isomorphism classes of connected simple cubic graphs

@@ -18,7 +18,7 @@
 //    By the probabilistic argument in §2, almost every sequence of length
 //    O(n^2 log n) over {0,1,2} is universal for 3-regular graphs of size n;
 //    a fixed seed gives a concrete deterministic sequence that plays the
-//    role of Reingold's T_n at practical lengths.  (See DESIGN.md for the
+//    role of Reingold's T_n at practical lengths.  (See DESIGN.md §3 for the
 //    substitution record — Reingold's construction itself is reproduced in
 //    src/reingold as the derandomization engine.)
 //  * FixedExplorationSequence — explicit symbol vector; used for the

@@ -11,7 +11,7 @@
 // this module implements the transform exactly but is exercised at
 // laptop-scale parameters, with every structural invariant tested and the
 // spectral trajectory *measured* rather than assumed (bench E8).  See
-// DESIGN.md's substitution record.
+// DESIGN.md §3's substitution record.
 //
 // Measured facts the tests pin:
 //   * each level multiplies the vertex count by D and preserves degree D;

@@ -1,6 +1,6 @@
 // Markdown/CSV table emitter for the benchmark harness.  Every experiment
 // binary prints its results as a table whose rows mirror the experiment
-// index in DESIGN.md, so bench output can be diffed against EXPERIMENTS.md.
+// index in DESIGN.md §4, so bench output can be diffed against EXPERIMENTS.md.
 #pragma once
 
 #include <cstddef>

@@ -69,6 +69,26 @@ TEST(AdHocNetwork, AdaptiveSequenceSizedByCensus) {
   EXPECT_EQ(r.census.gadget_count, 9u);  // 3 originals x 3 gadgets
 }
 
+TEST(AdHocNetwork, AdaptiveFailureCertificateOnDisconnectedGraph) {
+  // End-to-end smoke test of the api.h failure-certificate path: on a
+  // two-component graph, route_adaptive must come back undelivered (the
+  // certificate that t is outside Cs) and the census that learned the
+  // bound must be real — nonempty, matching the true component of s.
+  Graph g = graph::from_edges(9, {{0, 1}, {1, 2}, {2, 3}, {3, 0},  // Cs
+                                  {4, 5}, {5, 6}, {6, 7}, {7, 8}});
+  AdHocNetwork net(g);
+  for (CountMode mode : {CountMode::kFast, CountMode::kFaithful}) {
+    auto r = net.route_adaptive(0, 8, mode);
+    EXPECT_FALSE(r.route.delivered);
+    EXPECT_TRUE(r.route.returned_to_source);
+    EXPECT_GT(r.census.original_count, 0u);
+    EXPECT_EQ(r.census.original_count, 4u);
+    EXPECT_EQ(r.census.gadget_count, 12u);  // 4 originals x 3 gadgets
+    EXPECT_GT(r.census.probes, 0u);
+    EXPECT_GT(r.census.transmissions, 0u);
+  }
+}
+
 TEST(AdHocNetwork, CustomSequenceOverride) {
   Graph g = graph::cycle(4);
   Options opt;
