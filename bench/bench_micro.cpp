@@ -27,16 +27,60 @@ void BM_SymbolEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_SymbolEvaluation);
 
+// Block symbol generation (ExplorationSequence::fill): the "after" shape of
+// symbol access — one virtual call per block, counter hashes pipelined.
+// Compare per-item time against BM_SymbolEvaluation.
+void BM_SymbolFillBlock(benchmark::State& state) {
+  explore::RandomExplorationSequence seq(1, 1 << 20, 1024);
+  std::vector<explore::Symbol> block(
+      static_cast<std::size_t>(state.range(0)));
+  std::uint64_t i = 1;
+  for (auto _ : state) {
+    if (i + block.size() - 1 > seq.length()) i = 1;
+    seq.fill(i, block.size(), block.data());
+    i += block.size();
+    benchmark::DoNotOptimize(block.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(block.size()));
+}
+BENCHMARK(BM_SymbolFillBlock)->Arg(64)->Arg(1024)->Arg(4096);
+
+// Raw CSR rotation-map lookups, chained so each load depends on the last
+// (the walk's true access pattern).  The 3-regular fast path is what every
+// reduced-graph step pays.
+void BM_FlatRotate(benchmark::State& state) {
+  graph::Graph g = graph::random_connected_regular(
+      static_cast<graph::NodeId>(state.range(0)), 3, 7);
+  graph::HalfEdge he{0, 0};
+  for (auto _ : state) {
+    he = g.rotate3(he.node, he.port < 2 ? he.port + 1 : 0);
+    benchmark::DoNotOptimize(he);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatRotate)->Arg(64)->Arg(16384);
+
+// One full forward walk step, symbols consumed from fill() blocks exactly
+// as the rewritten step loops (trace_walk, cover_time, RouteSession) do.
 void BM_ForwardStep(benchmark::State& state) {
   graph::Graph g = graph::random_connected_regular(
       static_cast<graph::NodeId>(state.range(0)), 3, 7);
   explore::RandomExplorationSequence seq(2, 1 << 20, g.num_nodes());
+  std::vector<explore::Symbol> block(explore::SymbolStream::kBlock);
   graph::HalfEdge d{0, 0};
   std::uint64_t i = 1;
+  std::size_t pos = block.size();
   for (auto _ : state) {
-    d = explore::forward_step(g, d, seq.symbol(i));
+    if (pos == block.size()) {
+      if (i + block.size() - 1 > seq.length()) i = 1;
+      seq.fill(i, block.size(), block.data());
+      i += block.size();
+      pos = 0;
+    }
+    d = explore::forward_step(g, d, block[pos++]);
     benchmark::DoNotOptimize(d);
-    i = i % (1 << 20) + 1;
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -1,5 +1,6 @@
 #include "core/count_nodes.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -11,6 +12,8 @@ namespace uesr::core {
 
 using explore::ExplorationSequence;
 using explore::ReducedGraph;
+using explore::SymbolStream;
+using explore::wrap_port;
 using graph::HalfEdge;
 using graph::NodeId;
 using graph::Port;
@@ -27,6 +30,32 @@ SequenceFactory default_sequence_family(std::uint64_t seed) {
   };
 }
 
+namespace {
+
+/// Walks the message backward from arrival `at` until `index` reaches 0,
+/// consuming symbols index..1 in descending blocks.
+void backtrack(const graph::Graph& g, const ExplorationSequence& seq,
+               net::Arrival& at, std::uint64_t index, std::uint64_t& tx) {
+  std::vector<explore::Symbol> buf;
+  while (index > 0) {
+    const std::uint64_t count =
+        std::min<std::uint64_t>(SymbolStream::kBlock, index);
+    const std::uint64_t lo = index - count + 1;
+    buf.resize(static_cast<std::size_t>(count));
+    seq.fill(lo, count, buf.data());
+    for (std::uint64_t k = count; k-- > 0;) {
+      Port t = static_cast<Port>(buf[static_cast<std::size_t>(k)] % 3);
+      Port out = wrap_port(at.port + 3 - t, 3);
+      HalfEdge far = g.rotate(at.node, out);
+      at = {far.node, far.port};
+      ++tx;
+      --index;
+    }
+  }
+}
+
+}  // namespace
+
 graph::NodeId retrieve(const ReducedGraph& net, const ExplorationSequence& seq,
                        NodeId s, std::uint64_t i, std::uint64_t& tx) {
   if (i > seq.length())
@@ -36,11 +65,10 @@ graph::NodeId retrieve(const ReducedGraph& net, const ExplorationSequence& seq,
   HalfEdge d{net.entry_gadget(s), 0};
   net::Arrival at{g.rotate(d.node, d.port).node, g.rotate(d.node, d.port).port};
   ++tx;
-  std::uint64_t index = 0;
-  // Forward phase.
-  while (index < i) {
-    ++index;
-    Port out = static_cast<Port>((at.port + seq.symbol(index)) % 3);
+  // Forward phase, symbols streamed in blocks.
+  SymbolStream symbols(seq);
+  for (std::uint64_t index = 0; index < i; ++index) {
+    Port out = wrap_port(at.port + symbols.next(), 3);
     HalfEdge far = g.rotate(at.node, out);
     at = {far.node, far.port};
     ++tx;
@@ -53,14 +81,7 @@ graph::NodeId retrieve(const ReducedGraph& net, const ExplorationSequence& seq,
     ++tx;
   }
   // Backward phase: undo steps i..1.
-  while (index > 0) {
-    Port t = static_cast<Port>(seq.symbol(index) % 3);
-    Port out = static_cast<Port>((at.port + 3 - t) % 3);
-    HalfEdge far = g.rotate(at.node, out);
-    at = {far.node, far.port};
-    ++tx;
-    --index;
-  }
+  backtrack(g, seq, at, i, tx);
   return payload;
 }
 
@@ -75,10 +96,9 @@ graph::NodeId retrieve_neighbor(const ReducedGraph& net,
   HalfEdge d{net.entry_gadget(s), 0};
   net::Arrival at{g.rotate(d.node, d.port).node, g.rotate(d.node, d.port).port};
   ++tx;
-  std::uint64_t index = 0;
-  while (index < i) {
-    ++index;
-    Port out = static_cast<Port>((at.port + seq.symbol(index)) % 3);
+  SymbolStream symbols(seq);
+  for (std::uint64_t index = 0; index < i; ++index) {
+    Port out = wrap_port(at.port + symbols.next(), 3);
     HalfEdge far = g.rotate(at.node, out);
     at = {far.node, far.port};
     ++tx;
@@ -102,14 +122,7 @@ graph::NodeId retrieve_neighbor(const ReducedGraph& net,
     at = {far.node, far.port};
     ++tx;
   }
-  while (index > 0) {
-    Port t = static_cast<Port>(seq.symbol(index) % 3);
-    Port out = static_cast<Port>((at.port + 3 - t) % 3);
-    HalfEdge far = g.rotate(at.node, out);
-    at = {far.node, far.port};
-    ++tx;
-    --index;
-  }
+  backtrack(g, seq, at, i, tx);
   return payload;
 }
 
@@ -159,11 +172,20 @@ class FastOracle final : public ProbeOracle {
   FastOracle(const ReducedGraph& net, const ExplorationSequence& seq,
              NodeId s)
       : net_(net), s_(s) {
-    auto trace = explore::trace_walk(net.cubic, {net.entry_gadget(s), 0}, seq,
-                                     seq.length());
-    heads_.reserve(trace.departures.size());
-    for (const HalfEdge& d : trace.departures)
-      heads_.push_back(net.cubic.rotate(d.node, d.port).node);
+    // Simulate the walk centrally once, streaming symbols in blocks, and
+    // record the head (arrival vertex) of every departure edge d_0..d_L.
+    const graph::Graph& g = net.cubic;
+    const std::uint64_t length = seq.length();
+    heads_.reserve(static_cast<std::size_t>(length) + 1);
+    HalfEdge d{net.entry_gadget(s), 0};
+    HalfEdge a = g.rotate(d.node, d.port);
+    heads_.push_back(a.node);
+    SymbolStream symbols(seq);
+    for (std::uint64_t j = 0; j < length; ++j) {
+      d = {a.node, wrap_port(a.port + symbols.next(), 3)};
+      a = g.rotate(d.node, d.port);
+      heads_.push_back(a.node);
+    }
   }
 
   NodeId retrieve(std::uint64_t i) override {
@@ -192,6 +214,40 @@ class FastOracle final : public ProbeOracle {
   std::vector<NodeId> heads_;
 };
 
+/// Coordinator-side memo over retrieve: the coordinator of CountNodes may
+/// remember names it already paid to fetch (it is not a network node, so
+/// this breaks no log-space constraint of the *protocol*), but the paper's
+/// cost model is preserved exactly — a memoized answer charges the same
+/// tx/probes a real probe would, so reported totals are bit-identical in
+/// both execution modes.  Only the wall-clock work collapses from O(L^2)
+/// walks to O(L) walks plus O(L^2) array reads.
+class MemoOracle final : public ProbeOracle {
+ public:
+  MemoOracle(ProbeOracle& inner, std::uint64_t length)
+      : inner_(inner),
+        memo_(static_cast<std::size_t>(length) + 1, kUnset) {}
+
+  NodeId retrieve(std::uint64_t i) override {
+    NodeId& slot = memo_.at(static_cast<std::size_t>(i));
+    if (slot != kUnset) {
+      ++probes;
+      tx += 2 * (i + 1);  // what the probe would have cost on the wire
+      return slot;
+    }
+    slot = inner_.retrieve(i);  // inner charges its own tx/probes
+    return slot;
+  }
+  NodeId retrieve_neighbor(std::uint64_t i, Port j) override {
+    return inner_.retrieve_neighbor(i, j);
+  }
+  NodeId source_peek(Port j) override { return inner_.source_peek(j); }
+
+ private:
+  static constexpr NodeId kUnset = ~NodeId{0};  // never a gadget name
+  ProbeOracle& inner_;
+  std::vector<NodeId> memo_;
+};
+
 /// The paper's membership scan: compare u against Retrieve(0..L) with
 /// early exit.  The source also knows its own name without a probe.
 bool is_visited(ProbeOracle& oracle, std::uint64_t L, NodeId s_gadget,
@@ -215,29 +271,32 @@ CountResult count_nodes(const ReducedGraph& net, NodeId s,
     auto seq = family(bound);
     if (!seq) throw std::invalid_argument("count_nodes: null sequence");
     const std::uint64_t L = seq->length();
-    std::unique_ptr<ProbeOracle> oracle;
+    std::unique_ptr<ProbeOracle> inner;
     if (mode == CountMode::kFaithful)
-      oracle = std::make_unique<FaithfulOracle>(net, *seq, s);
+      inner = std::make_unique<FaithfulOracle>(net, *seq, s);
     else
-      oracle = std::make_unique<FastOracle>(net, *seq, s);
+      inner = std::make_unique<FastOracle>(net, *seq, s);
+    MemoOracle oracle(*inner, L);
+    auto charged_tx = [&] { return inner->tx + oracle.tx; };
+    auto charged_probes = [&] { return inner->probes + oracle.probes; };
 
     // --- closure check: every neighbour of a visited vertex is visited.
     bool closed = true;
     for (std::uint64_t i = 0; i <= L && closed; ++i)
       for (Port j = 0; j < 3 && closed; ++j) {
-        NodeId u = oracle->retrieve_neighbor(i, j);
-        if (!is_visited(*oracle, L, s_gadget, u)) closed = false;
+        NodeId u = oracle.retrieve_neighbor(i, j);
+        if (!is_visited(oracle, L, s_gadget, u)) closed = false;
       }
     // The source's own neighbours (s is visited by definition).
     for (Port j = 0; j < 3 && closed; ++j) {
-      NodeId u = oracle->source_peek(j);
-      if (!is_visited(*oracle, L, s_gadget, u)) closed = false;
+      NodeId u = oracle.source_peek(j);
+      if (!is_visited(oracle, L, s_gadget, u)) closed = false;
     }
 
-    res.transmissions += oracle->tx;
-    res.probes += oracle->probes;
-    oracle->tx = 0;
-    oracle->probes = 0;
+    res.transmissions += charged_tx();
+    res.probes += charged_probes();
+    inner->tx = oracle.tx = 0;
+    inner->probes = oracle.probes = 0;
     if (!closed) continue;
 
     // --- counting phase: distinct names among Retrieve(0..L), plus s if
@@ -246,11 +305,11 @@ CountResult count_nodes(const ReducedGraph& net, NodeId s,
     std::uint64_t count = 0;
     bool s_seen = false;
     for (std::uint64_t i = 0; i <= L; ++i) {
-      NodeId vnew = oracle->retrieve(i);
+      NodeId vnew = oracle.retrieve(i);
       if (vnew == s_gadget) s_seen = true;
       bool fresh = true;
       for (std::uint64_t j = 0; j < i && fresh; ++j)
-        if (oracle->retrieve(j) == vnew) fresh = false;
+        if (oracle.retrieve(j) == vnew) fresh = false;
       if (fresh) ++count;
     }
     if (!s_seen) ++count;
@@ -265,17 +324,17 @@ CountResult count_nodes(const ReducedGraph& net, NodeId s,
     std::uint64_t orig_count = 0;
     bool s_orig_seen = false;
     for (std::uint64_t i = 0; i <= L; ++i) {
-      NodeId oi = net.original_of[oracle->retrieve(i)];
+      NodeId oi = net.original_of[oracle.retrieve(i)];
       if (oi == s_orig) s_orig_seen = true;
       bool fresh = true;
       for (std::uint64_t j = 0; j < i && fresh; ++j)
-        if (net.original_of[oracle->retrieve(j)] == oi) fresh = false;
+        if (net.original_of[oracle.retrieve(j)] == oi) fresh = false;
       if (fresh) ++orig_count;
     }
     if (!s_orig_seen) ++orig_count;
     res.original_count = orig_count;
-    res.transmissions += oracle->tx;
-    res.probes += oracle->probes;
+    res.transmissions += charged_tx();
+    res.probes += charged_probes();
     return res;
   }
   throw std::runtime_error("count_nodes: no closure after 2^30 bound");

@@ -1,10 +1,14 @@
 #include "core/route.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "explore/walker.h"
 
 namespace uesr::core {
 
 using explore::ExplorationSequence;
+using explore::wrap_port;
 using graph::NodeId;
 using graph::Port;
 using net::Direction;
@@ -12,50 +16,80 @@ using net::Header;
 using net::Kind;
 using net::Status;
 
-NodeDecision route_node_step(const NodeView& node, Port in_port,
-                             const Header& header,
-                             const ExplorationSequence& seq) {
-  NodeDecision d;
-  d.header = header;
+namespace {
+
+/// Result of one per-node step, header updated in place.
+struct StepOutcome {
+  bool terminate = false;
+  Status final_status = Status::kInProgress;
+  Port out_port = 0;
+};
+
+/// The per-node logic of Algorithm Route, shared between the public pure
+/// function (symbols via the virtual oracle) and the session driver
+/// (symbols via a block-filled window).  Mutates `header` to the header
+/// the node attaches when forwarding.
+template <typename SymbolAt>
+StepOutcome step_node(const NodeView& node, Port in_port, Header& header,
+                      std::uint64_t seq_length, SymbolAt&& symbol_at) {
+  StepOutcome o;
   if (header.dir == Direction::kForward) {
     // Arrival processing at the head of departure edge d_j, j = index.
     const bool at_target = header.kind == Kind::kRoute &&
                            node.original_name == header.target;
-    const bool exhausted = header.index >= seq.length();
+    const bool exhausted = header.index >= seq_length;
     if (at_target || exhausted) {
       // Turn around: resend over the arrival port; index unchanged (the far
       // side will undo step j).  Status records what happened.
-      d.header.dir = Direction::kBackward;
-      d.header.status = at_target ? Status::kSuccess : Status::kFailure;
-      d.out_port = in_port;
-      return d;
+      header.dir = Direction::kBackward;
+      header.status = at_target ? Status::kSuccess : Status::kFailure;
+      o.out_port = in_port;
+      return o;
     }
     // Ordinary forward step: consume symbol j+1.
     std::uint64_t next = header.index + 1;
-    d.header.index = next;
-    d.out_port = static_cast<Port>((in_port + seq.symbol(next)) % node.degree);
-    return d;
+    header.index = next;
+    o.out_port = wrap_port(in_port + symbol_at(next), node.degree);
+    return o;
   }
   // Backward mode: we are at the tail of departure edge d_j, arrived on the
   // port d_j departed from.  j == 0 means the walk is fully rewound: this
   // node is s and the protocol returns its status.
   if (header.index == 0) {
-    d.terminate = true;
-    d.final_status = header.status;
-    return d;
+    o.terminate = true;
+    o.final_status = header.status;
+    return o;
   }
   // Undo step j: the entry port of step j was (d_j.port - t_j) mod deg.
   std::uint64_t j = header.index;
-  Port t = static_cast<Port>(seq.symbol(j) % node.degree);
-  d.out_port = static_cast<Port>((in_port + node.degree - t) % node.degree);
-  d.header.index = j - 1;
+  explore::Symbol s = symbol_at(j);
+  Port t = s < node.degree ? static_cast<Port>(s)
+                           : static_cast<Port>(s % node.degree);
+  o.out_port = wrap_port(in_port + node.degree - t, node.degree);
+  header.index = j - 1;
+  return o;
+}
+
+}  // namespace
+
+NodeDecision route_node_step(const NodeView& node, Port in_port,
+                             const Header& header,
+                             const ExplorationSequence& seq) {
+  NodeDecision d;
+  d.header = header;
+  StepOutcome o =
+      step_node(node, in_port, d.header, seq.length(),
+                [&seq](std::uint64_t j) { return seq.symbol(j); });
+  d.terminate = o.terminate;
+  d.final_status = o.final_status;
+  d.out_port = o.out_port;
   return d;
 }
 
 RouteSession::RouteSession(const explore::ReducedGraph& net,
                            const ExplorationSequence& seq, NodeId s,
                            NodeId t)
-    : net_(&net), seq_(&seq) {
+    : net_(&net), seq_(&seq), seq_length_(seq.length()) {
   const auto n_orig = static_cast<NodeId>(net.first_gadget.size());
   if (s >= n_orig)
     throw std::invalid_argument("RouteSession: source out of range");
@@ -65,50 +99,81 @@ RouteSession::RouteSession(const explore::ReducedGraph& net,
   header_.source = s;
   header_.target = t;
   start_gadget_ = net.entry_gadget(s);
+  if (net.cubic.is_cubic()) rot3_ = net.cubic.half_edge_data();
+  original_of_ = net.original_of.data();
 }
 
 NodeId RouteSession::current_original() const {
-  return injected_ ? net_->original_of[at_.node]
-                   : net_->original_of[start_gadget_];
+  return injected_ ? at_original_ : net_->original_of[start_gadget_];
+}
+
+void RouteSession::refill_symbols(std::uint64_t j) {
+  // Fill ahead of the walk direction so each refill serves a whole run of
+  // ascending (forward) or descending (backward) indices.
+  constexpr std::uint64_t kWindow = explore::SymbolStream::kBlock;
+  std::uint64_t lo, hi;
+  if (header_.dir == Direction::kForward) {
+    lo = j;
+    hi = std::min(seq_length_, j + kWindow - 1);
+  } else {
+    hi = j;
+    lo = j >= kWindow ? j - kWindow + 1 : 1;
+  }
+  symbuf_.resize(static_cast<std::size_t>(hi - lo + 1));
+  seq_->fill(lo, hi - lo + 1, symbuf_.data());
+  buf_lo_ = lo;
+  buf_len_ = hi - lo + 1;
+}
+
+explore::Symbol RouteSession::buffered_symbol(std::uint64_t j) {
+  if (j - buf_lo_ >= buf_len_) refill_symbols(j);  // underflow wraps: miss
+  return symbuf_[static_cast<std::size_t>(j - buf_lo_)];
 }
 
 void RouteSession::step() {
   if (finished_) return;
   const graph::Graph& g = net_->cubic;
+  const graph::HalfEdge* rot3 = rot3_;
+  // Cached-pointer rotation: one load when cubic, generic fallback else.
+  auto rotate = [&](NodeId v, Port p) {
+    return rot3 ? rot3[3 * static_cast<std::size_t>(v) + p] : g.rotate(v, p);
+  };
   if (!injected_) {
     // Injection: s sends along d_0 = (start, port 0); consumes no symbol.
-    graph::HalfEdge far = g.rotate(start_gadget_, 0);
+    graph::HalfEdge far = rotate(start_gadget_, 0);
     at_ = {far.node, far.port};
+    at_original_ = original_of_[at_.node];
     injected_ = true;
     ++transmissions_;
-    if (header_.kind == Kind::kRoute &&
-        net_->original_of[at_.node] == header_.target) {
+    if (header_.kind == Kind::kRoute && at_original_ == header_.target) {
       target_reached_ = true;
       first_hit_step_ = 0;
     }
     return;
   }
-  NodeView view{net_->original_of[at_.node], g.degree(at_.node)};
-  NodeDecision d = route_node_step(view, at_.port, header_, *seq_);
-  if (header_.dir == Direction::kForward &&
-      d.header.dir == Direction::kBackward) {
+  const bool was_forward = header_.dir == Direction::kForward;
+  NodeView view{at_original_, rot3 ? Port{3} : g.degree(at_.node)};
+  StepOutcome o =
+      step_node(view, at_.port, header_, seq_length_,
+                [this](std::uint64_t j) { return buffered_symbol(j); });
+  if (was_forward && header_.dir == Direction::kBackward) {
     forward_steps_ = header_.index;
-    if (d.header.status == Status::kSuccess) {
+    if (header_.status == Status::kSuccess) {
       target_reached_ = true;
       first_hit_step_ = header_.index;
     }
   }
-  if (d.terminate) {
+  if (o.terminate) {
     finished_ = true;
-    status_ = d.final_status;
+    status_ = o.final_status;
     return;
   }
-  header_ = d.header;
-  graph::HalfEdge far = g.rotate(at_.node, d.out_port);
+  graph::HalfEdge far = rotate(at_.node, o.out_port);
   at_ = {far.node, far.port};
+  at_original_ = original_of_[at_.node];
   ++transmissions_;
   if (header_.dir == Direction::kForward && header_.kind == Kind::kRoute &&
-      net_->original_of[at_.node] == header_.target && !target_reached_) {
+      at_original_ == header_.target && !target_reached_) {
     target_reached_ = true;
     first_hit_step_ = header_.index;
   }

@@ -97,10 +97,24 @@ class RouteSession {
   graph::NodeId current_original() const;
 
  private:
+  /// The symbol at index j, served from a block-filled window over the
+  /// sequence (one virtual fill() per window instead of one virtual
+  /// symbol() per transmission).  Pure pass-through semantically.
+  explore::Symbol buffered_symbol(std::uint64_t j);
+  void refill_symbols(std::uint64_t j);
+
   const explore::ReducedGraph* net_;
   const explore::ExplorationSequence* seq_;
+  std::uint64_t seq_length_ = 0;  // cached seq_->length()
+  // Hot-path caches: raw CSR rotation array (valid only when the reduced
+  // graph is cubic — always true for reduce_to_cubic outputs) and the
+  // gadget->original projection.  Shaves the per-step pointer chase
+  // through net_->cubic / net_->original_of.
+  const graph::HalfEdge* rot3_ = nullptr;  // null unless cubic
+  const graph::NodeId* original_of_ = nullptr;
   net::Header header_;
   net::Arrival at_{};          // where the message currently is
+  graph::NodeId at_original_ = 0;  // original_of_[at_.node], kept in step
   bool injected_ = false;      // first step() injects d_0
   graph::NodeId start_gadget_ = 0;
   bool finished_ = false;
@@ -109,6 +123,13 @@ class RouteSession {
   std::uint64_t transmissions_ = 0;
   std::uint64_t forward_steps_ = 0;
   std::uint64_t first_hit_step_ = 0;
+  // Symbol window of buf_len_ symbols starting at index buf_lo_ (1-based;
+  // empty when buf_len_ == 0).  Filled forward ahead of the walk and
+  // backward behind the rewind; j is in the window iff j - buf_lo_ <
+  // buf_len_ (one unsigned compare covers both directions).
+  std::vector<explore::Symbol> symbuf_;
+  std::uint64_t buf_lo_ = 1;
+  std::uint64_t buf_len_ = 0;
 };
 
 /// The guaranteed router of Theorem 1 over a fixed reduced network.

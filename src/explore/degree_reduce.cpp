@@ -44,7 +44,9 @@ ReducedGraph reduce_to_cubic(const graph::Graph& g) {
     for (NodeId j = 0; j < r.gadget_count[v]; ++j)
       r.original_of[r.first_gadget[v] + j] = v;
 
-  std::vector<std::vector<HalfEdge>> adj(total, std::vector<HalfEdge>(3));
+  // Build the 3-regular rotation map directly in flat CSR form: gadget
+  // vertex gv's half-edges live at half[3*gv + port].
+  std::vector<HalfEdge> half(3 * static_cast<std::size_t>(total));
   // Gadget cycles: port 1 of gadget j meets port 0 of gadget j+1 (mod c).
   for (NodeId v = 0; v < n; ++v) {
     NodeId base = r.first_gadget[v];
@@ -52,8 +54,8 @@ ReducedGraph reduce_to_cubic(const graph::Graph& g) {
     for (NodeId j = 0; j < c; ++j) {
       NodeId cur = base + j;
       NodeId nxt = base + (j + 1) % c;
-      adj[cur][1] = {nxt, 0};
-      adj[nxt][0] = {cur, 1};
+      half[3 * static_cast<std::size_t>(cur) + 1] = {nxt, 0};
+      half[3 * static_cast<std::size_t>(nxt) + 0] = {cur, 1};
     }
   }
   // External edges: original port p of v is carried by gadget(v, p) port 2.
@@ -63,16 +65,18 @@ ReducedGraph reduce_to_cubic(const graph::Graph& g) {
       HalfEdge far = g.rotate(v, p);
       NodeId mine = r.first_gadget[v] + p;
       NodeId theirs = r.first_gadget[far.node] + far.port;
-      adj[mine][2] = {theirs, 2};  // involution holds: the far side writes
-                                   // the mirror entry when its turn comes
+      // Involution holds: the far side writes the mirror entry on its turn.
+      half[3 * static_cast<std::size_t>(mine) + 2] = {theirs, 2};
     }
     // Padding: unused external ports become half-loops.
     for (NodeId j = d; j < r.gadget_count[v]; ++j) {
       NodeId cur = r.first_gadget[v] + j;
-      adj[cur][2] = {cur, 2};
+      half[3 * static_cast<std::size_t>(cur) + 2] = {cur, 2};
     }
   }
-  r.cubic = graph::from_rotation(std::move(adj));
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(total) + 1);
+  for (std::size_t i = 0; i <= total; ++i) offsets[i] = 3 * i;
+  r.cubic = graph::from_rotation(std::move(offsets), std::move(half));
   return r;
 }
 

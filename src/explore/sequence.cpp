@@ -1,11 +1,42 @@
 #include "explore/sequence.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/bitpack.h"
 
 namespace uesr::explore {
+
+namespace {
+
+void check_fill_range(std::uint64_t i_begin, std::uint64_t count,
+                      std::uint64_t length, const char* who) {
+  if (i_begin == 0 || i_begin > length || count > length - i_begin + 1)
+    throw std::out_of_range(std::string(who) + ": bad index range");
+}
+
+}  // namespace
+
+void ExplorationSequence::fill(std::uint64_t i_begin, std::uint64_t count,
+                               Symbol* out) const {
+  // Correct reference loop; concrete families override for block speed.
+  for (std::uint64_t k = 0; k < count; ++k) out[k] = symbol(i_begin + k);
+}
+
+void SymbolStream::refill() {
+  const std::uint64_t length = seq_->length();
+  if (next_ == 0 || next_ > length)
+    throw std::out_of_range("SymbolStream: sequence exhausted");
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(next_block_, length - next_ + 1));
+  next_block_ = std::min(next_block_ * 2, kBlock);
+  buf_.resize(n);
+  seq_->fill(next_, n, buf_.data());
+  next_ += n;
+  pos_ = 0;
+  avail_ = n;
+}
 
 RandomExplorationSequence::RandomExplorationSequence(std::uint64_t seed,
                                                      std::uint64_t length,
@@ -21,6 +52,17 @@ Symbol RandomExplorationSequence::symbol(std::uint64_t i) const {
   if (i == 0 || i > length_)
     throw std::out_of_range("RandomExplorationSequence::symbol: bad index");
   return rng_.value_below(i, alphabet_);
+}
+
+void RandomExplorationSequence::fill(std::uint64_t i_begin,
+                                     std::uint64_t count, Symbol* out) const {
+  if (count == 0) return;
+  check_fill_range(i_begin, count, length_,
+                   "RandomExplorationSequence::fill");
+  // One bounds check for the whole block, then straight-line counter
+  // hashing with no virtual dispatch per element.
+  for (std::uint64_t k = 0; k < count; ++k)
+    out[k] = rng_.value_below(i_begin + k, alphabet_);
 }
 
 std::string RandomExplorationSequence::name() const {
@@ -40,6 +82,15 @@ Symbol FixedExplorationSequence::symbol(std::uint64_t i) const {
   if (i == 0 || i > symbols_.size())
     throw std::out_of_range("FixedExplorationSequence::symbol: bad index");
   return symbols_[i - 1];
+}
+
+void FixedExplorationSequence::fill(std::uint64_t i_begin,
+                                    std::uint64_t count, Symbol* out) const {
+  if (count == 0) return;
+  check_fill_range(i_begin, count, symbols_.size(),
+                   "FixedExplorationSequence::fill");
+  std::copy_n(symbols_.begin() + static_cast<std::ptrdiff_t>(i_begin - 1),
+              count, out);
 }
 
 std::uint64_t default_ues_length(graph::NodeId n) {

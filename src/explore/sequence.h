@@ -50,6 +50,16 @@ class ExplorationSequence {
   /// the same i always yields the same symbol.
   virtual Symbol symbol(std::uint64_t i) const = 0;
 
+  /// Bulk evaluation: writes symbols i_begin .. i_begin + count - 1
+  /// (1-based; the range must lie within [1, length()]) into out.
+  /// Semantically identical to calling symbol() element-wise — `fill` is a
+  /// pure function of the index range, so the log-space model is intact: a
+  /// node recomputes any window from scratch and stores nothing between
+  /// calls.  Overridden by the concrete families to amortize the virtual
+  /// dispatch over a whole block; the default loops over symbol().
+  virtual void fill(std::uint64_t i_begin, std::uint64_t count,
+                    Symbol* out) const;
+
   /// The graph size this sequence targets (it aims to cover all connected
   /// 3-regular graphs with at most this many vertices).
   virtual graph::NodeId target_size() const = 0;
@@ -65,6 +75,8 @@ class RandomExplorationSequence final : public ExplorationSequence {
 
   std::uint64_t length() const override { return length_; }
   Symbol symbol(std::uint64_t i) const override;
+  void fill(std::uint64_t i_begin, std::uint64_t count,
+            Symbol* out) const override;
   graph::NodeId target_size() const override { return target_size_; }
   std::string name() const override;
 
@@ -85,6 +97,8 @@ class FixedExplorationSequence final : public ExplorationSequence {
 
   std::uint64_t length() const override { return symbols_.size(); }
   Symbol symbol(std::uint64_t i) const override;
+  void fill(std::uint64_t i_begin, std::uint64_t count,
+            Symbol* out) const override;
   graph::NodeId target_size() const override { return target_size_; }
   std::string name() const override { return name_; }
 
@@ -94,6 +108,38 @@ class FixedExplorationSequence final : public ExplorationSequence {
   std::vector<Symbol> symbols_;
   graph::NodeId target_size_;
   std::string name_;
+};
+
+/// Forward block cursor over a sequence: hands out symbols i, i+1, ... with
+/// one virtual fill() per kBlock symbols instead of one virtual symbol()
+/// per step.  Purely an access-pattern optimisation — the values returned
+/// are exactly seq.symbol(i) element-wise.  Throws std::out_of_range when
+/// advanced past length().
+class SymbolStream {
+ public:
+  static constexpr std::size_t kBlock = 1024;
+
+  explicit SymbolStream(const ExplorationSequence& seq,
+                        std::uint64_t first = 1)
+      : seq_(&seq), next_(first) {}
+
+  /// The symbol at the cursor; advances by one.
+  Symbol next() {
+    if (pos_ == avail_) refill();
+    return buf_[pos_++];
+  }
+
+ private:
+  void refill();
+
+  const ExplorationSequence* seq_;
+  std::uint64_t next_;  ///< next index to fetch into the buffer
+  std::size_t pos_ = 0;
+  std::size_t avail_ = 0;
+  /// Geometric ramp (doubling up to kBlock): short walks pay for the
+  /// symbols they use, long walks amortize to full blocks.
+  std::size_t next_block_ = 64;
+  std::vector<Symbol> buf_;
 };
 
 /// Length of the library-default pseudorandom T_n: c * n^2 * (log2(n)+1),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "explore/walker.h"
 #include "graph/algorithms.h"
@@ -14,10 +15,31 @@ using graph::HalfEdge;
 using graph::NodeId;
 using graph::Port;
 
+namespace {
+
+/// Component size of every vertex, from one BFS sweep.  Port relabelling
+/// never changes the edge set, so these survive across every labelling of
+/// the same graph — compute once, thread through all cover checks.
+std::vector<std::size_t> component_need(const Graph& g) {
+  const auto id = graph::connected_components(g);
+  std::vector<std::size_t> size;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (id[v] >= size.size()) size.resize(id[v] + 1, 0);
+    ++size[id[v]];
+  }
+  std::vector<std::size_t> need(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) need[v] = size[id[v]];
+  return need;
+}
+
+}  // namespace
+
 bool covers_all_starts(const Graph& g, const ExplorationSequence& seq) {
+  const auto need = component_need(g);
+  WalkScratch scratch;
   for (NodeId v = 0; v < g.num_nodes(); ++v)
     for (Port p = 0; p < g.degree(v); ++p)
-      if (!covers_component(g, {v, p}, seq)) return false;
+      if (!covers_component(g, {v, p}, seq, need[v], scratch)) return false;
   return true;
 }
 
@@ -57,12 +79,14 @@ bool for_each_labeling(const Graph& g,
 UniversalityReport check_universal_exhaustive(const Graph& g,
                                               const ExplorationSequence& seq) {
   UniversalityReport rep;
+  const auto need = component_need(g);
+  WalkScratch scratch;
   bool complete = for_each_labeling(g, [&](const Graph& labeled) {
     ++rep.labelings_checked;
     for (NodeId v = 0; v < labeled.num_nodes(); ++v)
       for (Port p = 0; p < labeled.degree(v); ++p) {
         ++rep.walks_checked;
-        if (!covers_component(labeled, {v, p}, seq)) {
+        if (!covers_component(labeled, {v, p}, seq, need[v], scratch)) {
           rep.witness = FailureWitness{labeled, {v, p}};
           return false;
         }
@@ -78,6 +102,8 @@ UniversalityReport check_universal_sampled(const Graph& g,
                                            std::uint64_t samples,
                                            std::uint64_t seed) {
   UniversalityReport rep;
+  const auto need = component_need(g);
+  WalkScratch scratch;
   util::Pcg32 rng(seed);
   for (std::uint64_t s = 0; s < samples; ++s) {
     Graph labeled = g.randomly_relabeled(rng);
@@ -85,7 +111,7 @@ UniversalityReport check_universal_sampled(const Graph& g,
     for (NodeId v = 0; v < labeled.num_nodes(); ++v)
       for (Port p = 0; p < labeled.degree(v); ++p) {
         ++rep.walks_checked;
-        if (!covers_component(labeled, {v, p}, seq)) {
+        if (!covers_component(labeled, {v, p}, seq, need[v], scratch)) {
           rep.witness = FailureWitness{labeled, {v, p}};
           return rep;
         }
@@ -97,29 +123,42 @@ UniversalityReport check_universal_sampled(const Graph& g,
 
 namespace {
 
-/// Adversary's score for a labelling: worst (uncovered count, last cover
-/// step) over all start edges.  Bigger is worse for the sequence.
-std::pair<std::uint64_t, std::uint64_t> adversary_score(
-    const Graph& labeled, const ExplorationSequence& seq) {
-  std::uint64_t worst_uncovered = 0;
-  std::uint64_t worst_time = 0;
+/// Adversary's score for a labelling, plus the number of cover walks it
+/// actually ran (one per start half-edge) so reports can cite real work
+/// instead of an estimate.
+struct AdversaryScore {
+  std::uint64_t worst_uncovered = 0;  ///< most vertices left unvisited
+  std::uint64_t worst_time = 0;       ///< latest cover step (len+1 = never)
+  std::uint64_t walks = 0;            ///< cover walks performed
+
+  std::pair<std::uint64_t, std::uint64_t> key() const {
+    return {worst_uncovered, worst_time};
+  }
+};
+
+/// Worst (uncovered count, last cover step) over all start edges.  Bigger
+/// is worse for the sequence.  `need` is the per-vertex component size of
+/// the underlying graph (labelling-invariant).
+AdversaryScore adversary_score(const Graph& labeled,
+                               const ExplorationSequence& seq,
+                               const std::vector<std::size_t>& need,
+                               WalkScratch& scratch) {
+  AdversaryScore score;
   for (NodeId v = 0; v < labeled.num_nodes(); ++v)
     for (Port p = 0; p < labeled.degree(v); ++p) {
-      auto ct = cover_time(labeled, {v, p}, seq);
-      if (!ct.has_value()) {
-        // Count how many vertices stay unvisited for this start.
-        auto tr = trace_walk(labeled, {v, p}, seq, seq.length());
-        std::uint64_t uncovered = 0;
-        auto comp = graph::component_of(labeled, v);
-        for (NodeId u : comp)
-          if (!tr.visited[u]) ++uncovered;
-        worst_uncovered = std::max(worst_uncovered, uncovered);
-        worst_time = seq.length() + 1;
+      ++score.walks;
+      auto outcome = cover_outcome(labeled, {v, p}, seq, need[v], scratch);
+      if (!outcome.cover_step.has_value()) {
+        // One walk yields both verdict and visited count: the vertices the
+        // exhausted walk missed are need[v] - visited.
+        score.worst_uncovered = std::max<std::uint64_t>(
+            score.worst_uncovered, need[v] - outcome.visited);
+        score.worst_time = seq.length() + 1;
       } else {
-        worst_time = std::max(worst_time, *ct);
+        score.worst_time = std::max(score.worst_time, *outcome.cover_step);
       }
     }
-  return {worst_uncovered, worst_time};
+  return score;
 }
 
 }  // namespace
@@ -129,21 +168,26 @@ UniversalityReport check_universal_adversarial(const Graph& g,
                                                std::uint64_t iterations,
                                                std::uint64_t seed) {
   UniversalityReport rep;
+  const auto need = component_need(g);
+  WalkScratch scratch;
   util::Pcg32 rng(seed);
   constexpr int kRestarts = 4;
   for (int restart = 0; restart < kRestarts; ++restart) {
     Graph current = g.randomly_relabeled(rng);
-    auto score = adversary_score(current, seq);
+    auto score = adversary_score(current, seq, need, scratch);
     ++rep.labelings_checked;
+    rep.walks_checked += score.walks;
     for (std::uint64_t it = 0; it < iterations / kRestarts; ++it) {
-      if (score.first > 0) {
+      if (score.worst_uncovered > 0) {
         // Found an uncovered labelling; locate a witness start edge.
         for (NodeId v = 0; v < current.num_nodes(); ++v)
-          for (Port p = 0; p < current.degree(v); ++p)
-            if (!covers_component(current, {v, p}, seq)) {
+          for (Port p = 0; p < current.degree(v); ++p) {
+            ++rep.walks_checked;
+            if (!covers_component(current, {v, p}, seq, need[v], scratch)) {
               rep.witness = FailureWitness{current, {v, p}};
               return rep;
             }
+          }
       }
       // Propose: re-randomize the permutation of one random vertex.
       NodeId v = rng.next_below(g.num_nodes());
@@ -154,10 +198,10 @@ UniversalityReport check_universal_adversarial(const Graph& g,
       }
       std::shuffle(perms[v].begin(), perms[v].end(), rng);
       Graph proposal = current.relabeled(perms);
-      auto pscore = adversary_score(proposal, seq);
+      auto pscore = adversary_score(proposal, seq, need, scratch);
       ++rep.labelings_checked;
-      rep.walks_checked += proposal.num_nodes() * 3;
-      if (pscore >= score) {  // plateau moves allowed: keeps search mobile
+      rep.walks_checked += pscore.walks;
+      if (pscore.key() >= score.key()) {  // plateau moves keep search mobile
         current = std::move(proposal);
         score = pscore;
       }

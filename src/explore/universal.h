@@ -50,6 +50,8 @@ struct FailureWitness {
 struct UniversalityReport {
   bool universal = false;  ///< no counterexample found in the checked space
   std::uint64_t labelings_checked = 0;
+  /// Cover walks actually performed (every regime counts real walks; the
+  /// adversarial search reports the walks its scoring ran, not an estimate).
   std::uint64_t walks_checked = 0;
   std::optional<FailureWitness> witness;
 };

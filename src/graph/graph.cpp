@@ -50,60 +50,110 @@ Port GraphBuilder::degree(NodeId v) const {
 
 Graph GraphBuilder::build() && {
   Graph g;
-  g.adj_ = std::move(adj_);
-  g.recount_edges();
-  g.validate();
+  g.adopt(std::move(adj_));
   return g;
+}
+
+void Graph::adopt(std::vector<std::vector<HalfEdge>> adj) {
+  const std::size_t n = adj.size();
+  std::vector<std::size_t> offsets;
+  std::vector<HalfEdge> half_edges;
+  if (n > 0) {
+    offsets.resize(n + 1);
+    offsets[0] = 0;
+    for (std::size_t v = 0; v < n; ++v)
+      offsets[v + 1] = offsets[v] + adj[v].size();
+    half_edges.reserve(offsets[n]);
+    for (std::size_t v = 0; v < n; ++v)
+      half_edges.insert(half_edges.end(), adj[v].begin(), adj[v].end());
+  }
+  adopt_flat(std::move(offsets), std::move(half_edges));
+}
+
+void Graph::adopt_flat(std::vector<std::size_t> offsets,
+                       std::vector<HalfEdge> half_edges) {
+  if (offsets.empty()) {
+    if (!half_edges.empty())
+      throw std::invalid_argument("Graph: half-edges without offsets");
+  } else {
+    if (offsets.front() != 0)
+      throw std::invalid_argument("Graph: offsets must start at 0");
+    for (std::size_t v = 0; v + 1 < offsets.size(); ++v)
+      if (offsets[v] > offsets[v + 1])
+        throw std::invalid_argument("Graph: offsets not monotone");
+    if (offsets.back() != half_edges.size())
+      throw std::invalid_argument("Graph: offsets do not cover half-edges");
+  }
+  // Normalize the zero-node representation (no offsets at all) so that
+  // every construction path yields identical members and the defaulted
+  // operator== stays purely observational.
+  if (offsets.size() == 1) offsets.clear();
+  offsets_ = std::move(offsets);
+  half_edges_ = std::move(half_edges);
+  finalize_shape();
+  recount_edges();
+  validate();
+}
+
+void Graph::finalize_shape() {
+  num_nodes_ = offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  cubic_ = num_nodes_ > 0;
+  for (NodeId v = 0; v < num_nodes_; ++v)
+    if (offsets_[v + 1] - offsets_[v] != 3) {
+      cubic_ = false;
+      break;
+    }
 }
 
 Port Graph::max_degree() const {
   Port d = 0;
-  for (const auto& a : adj_) d = std::max<Port>(d, static_cast<Port>(a.size()));
+  for (NodeId v = 0; v < num_nodes_; ++v) d = std::max<Port>(d, degree(v));
   return d;
 }
 
 Port Graph::min_degree() const {
-  if (adj_.empty()) return 0;
-  Port d = static_cast<Port>(adj_[0].size());
-  for (const auto& a : adj_) d = std::min<Port>(d, static_cast<Port>(a.size()));
+  if (num_nodes_ == 0) return 0;
+  Port d = degree(0);
+  for (NodeId v = 1; v < num_nodes_; ++v) d = std::min<Port>(d, degree(v));
   return d;
 }
 
 bool Graph::is_regular(Port d) const {
-  return std::all_of(adj_.begin(), adj_.end(),
-                     [d](const auto& a) { return a.size() == d; });
+  for (NodeId v = 0; v < num_nodes_; ++v)
+    if (degree(v) != d) return false;
+  return true;
 }
 
 Port Graph::port_to(NodeId v, NodeId u) const {
   for (Port p = 0; p < degree(v); ++p)
-    if (adj_[v][p].node == u) return p;
+    if (rotate(v, p).node == u) return p;
   throw std::invalid_argument("port_to: vertices not adjacent");
 }
 
 bool Graph::adjacent(NodeId v, NodeId u) const {
-  for (const HalfEdge& he : adj_[v])
-    if (he.node == u) return true;
+  for (Port p = 0; p < degree(v); ++p)
+    if (rotate(v, p).node == u) return true;
   return false;
 }
 
 std::vector<NodeId> Graph::neighbors(NodeId v) const {
   std::vector<NodeId> out;
-  out.reserve(adj_[v].size());
-  for (const HalfEdge& he : adj_[v]) out.push_back(he.node);
+  out.reserve(degree(v));
+  for (Port p = 0; p < degree(v); ++p) out.push_back(rotate(v, p).node);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
 void Graph::validate() const {
-  for (NodeId v = 0; v < num_nodes(); ++v) {
+  for (NodeId v = 0; v < num_nodes_; ++v) {
     for (Port p = 0; p < degree(v); ++p) {
-      HalfEdge far = adj_[v][p];
-      if (far.node >= num_nodes())
+      HalfEdge far = rotate(v, p);
+      if (far.node >= num_nodes_)
         throw std::logic_error("Graph::validate: endpoint node out of range");
       if (far.port >= degree(far.node))
         throw std::logic_error("Graph::validate: endpoint port out of range");
-      HalfEdge back = adj_[far.node][far.port];
+      HalfEdge back = rotate(far.node, far.port);
       if (back != HalfEdge{v, p})
         throw std::logic_error(
             "Graph::validate: rotation map is not an involution");
@@ -112,22 +162,19 @@ void Graph::validate() const {
 }
 
 void Graph::recount_edges() {
-  std::size_t half_edges = 0;
   std::size_t half_loops = 0;
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    half_edges += adj_[v].size();
+  for (NodeId v = 0; v < num_nodes_; ++v)
     for (Port p = 0; p < degree(v); ++p)
       if (is_half_loop(v, p)) ++half_loops;
-  }
   // Every non-fixed-point half-edge pairs with exactly one other.
-  num_edges_ = (half_edges - half_loops) / 2 + half_loops;
+  num_edges_ = (half_edges_.size() - half_loops) / 2 + half_loops;
 }
 
 Graph Graph::relabeled(const std::vector<std::vector<Port>>& perms) const {
-  if (perms.size() != adj_.size())
+  if (perms.size() != num_nodes_)
     throw std::invalid_argument("relabeled: one permutation per vertex");
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    if (perms[v].size() != adj_[v].size())
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (perms[v].size() != degree(v))
       throw std::invalid_argument("relabeled: permutation size != degree");
     std::vector<bool> seen(perms[v].size(), false);
     for (Port p : perms[v]) {
@@ -136,18 +183,19 @@ Graph Graph::relabeled(const std::vector<std::vector<Port>>& perms) const {
       seen[p] = true;
     }
   }
-  Graph g;
-  g.adj_.assign(adj_.size(), {});
-  for (NodeId v = 0; v < num_nodes(); ++v)
-    g.adj_[v].resize(adj_[v].size());
-  for (NodeId v = 0; v < num_nodes(); ++v) {
+  // Degrees are unchanged, so the offsets carry over; only the half-edge
+  // slots are permuted (both the local slot and the far port it names).
+  std::vector<std::size_t> offsets = offsets_;
+  std::vector<HalfEdge> half_edges(half_edges_.size());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
     for (Port p = 0; p < degree(v); ++p) {
-      HalfEdge far = adj_[v][p];
-      g.adj_[v][perms[v][p]] = {far.node, perms[far.node][far.port]};
+      HalfEdge far = rotate(v, p);
+      half_edges[offsets_[v] + perms[v][p]] = {far.node,
+                                               perms[far.node][far.port]};
     }
   }
-  g.recount_edges();
-  g.validate();
+  Graph g;
+  g.adopt_flat(std::move(offsets), std::move(half_edges));
   return g;
 }
 
@@ -170,9 +218,14 @@ Graph from_edges(NodeId num_nodes,
 
 Graph from_rotation(std::vector<std::vector<HalfEdge>> adj) {
   Graph g;
-  g.adj_ = std::move(adj);
-  g.recount_edges();
-  g.validate();
+  g.adopt(std::move(adj));
+  return g;
+}
+
+Graph from_rotation(std::vector<std::size_t> offsets,
+                    std::vector<HalfEdge> half_edges) {
+  Graph g;
+  g.adopt_flat(std::move(offsets), std::move(half_edges));
   return g;
 }
 

@@ -11,12 +11,22 @@
 //     walking out of port p re-enters v on port p.
 // Parallel edges are allowed.
 //
+// Storage is CSR-style: one flat half-edge array plus per-vertex offsets,
+// so rotate(v, p) is a single load from half_edges_[offsets_[v] + p] —
+// no per-vertex vector indirection on the walk hot path.  The ubiquitous
+// 3-regular case (every ReducedGraph.cubic) is specialized further: when
+// the graph is cubic the index is computed as 3*v + p with no offset load
+// at all (see rotate3/is_cubic).  The layout is an internal detail — the
+// public API is unchanged and observationally identical to the former
+// vector<vector<HalfEdge>> representation (pinned by property tests).
+//
 // A Graph is immutable after construction (build it with GraphBuilder);
 // relabelling — the operation universality quantifies over — produces a new
 // Graph.
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -69,25 +79,46 @@ class Graph {
  public:
   Graph() = default;
 
-  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  NodeId num_nodes() const { return num_nodes_; }
 
   /// Number of edges; a loop (full or half) counts as one edge.
   std::size_t num_edges() const { return num_edges_; }
 
-  Port degree(NodeId v) const { return static_cast<Port>(adj_[v].size()); }
+  Port degree(NodeId v) const {
+    return cubic_ ? 3 : static_cast<Port>(offsets_[v + 1] - offsets_[v]);
+  }
   Port max_degree() const;
   Port min_degree() const;
   bool is_regular(Port d) const;
 
+  /// True if every vertex has degree exactly 3 — the regime every
+  /// ReducedGraph.cubic lives in.  Enables the offset-free rotate3 path.
+  bool is_cubic() const { return cubic_; }
+
   /// The rotation map: the half-edge at the far end of (v, p).
   /// For a half-loop this is (v, p) itself.
-  HalfEdge rotate(NodeId v, Port p) const { return adj_[v][p]; }
+  HalfEdge rotate(NodeId v, Port p) const {
+    return cubic_ ? half_edges_[3 * static_cast<std::size_t>(v) + p]
+                  : half_edges_[offsets_[v] + p];
+  }
+
+  /// rotate() specialized for 3-regular graphs: port arithmetic is 3*v + p
+  /// with no offset load.  Precondition: is_cubic().
+  HalfEdge rotate3(NodeId v, Port p) const {
+    return half_edges_[3 * static_cast<std::size_t>(v) + p];
+  }
+
+  /// Raw CSR half-edge array (length = sum of degrees), for perf-critical
+  /// consumers that cache the pointer across millions of steps: entry
+  /// offsets_[v] + p — or 3*v + p when is_cubic() — is rotate(v, p).
+  /// Invalidated by destroying/assigning the graph, like vector::data.
+  const HalfEdge* half_edge_data() const { return half_edges_.data(); }
 
   /// The vertex reached when leaving v through port p.
-  NodeId neighbor(NodeId v, Port p) const { return adj_[v][p].node; }
+  NodeId neighbor(NodeId v, Port p) const { return rotate(v, p).node; }
 
   bool is_half_loop(NodeId v, Port p) const {
-    return adj_[v][p] == HalfEdge{v, p};
+    return rotate(v, p) == HalfEdge{v, p};
   }
 
   /// Any port of v whose far end is u; throws if u is not adjacent to v.
@@ -118,10 +149,25 @@ class Graph {
  private:
   friend class GraphBuilder;
   friend Graph from_rotation(std::vector<std::vector<HalfEdge>> adj);
-  std::vector<std::vector<HalfEdge>> adj_;
-  std::size_t num_edges_ = 0;
+  friend Graph from_rotation(std::vector<std::size_t> offsets,
+                             std::vector<HalfEdge> half_edges);
 
+  /// Installs a nested rotation map, flattening it to CSR form.
+  void adopt(std::vector<std::vector<HalfEdge>> adj);
+  /// Installs an already-flat rotation map (offsets.size() == n + 1).
+  void adopt_flat(std::vector<std::size_t> offsets,
+                  std::vector<HalfEdge> half_edges);
+  /// Derived-field maintenance after offsets_/half_edges_ change.
+  void finalize_shape();
   void recount_edges();
+
+  NodeId num_nodes_ = 0;
+  bool cubic_ = false;
+  /// offsets_[v]..offsets_[v+1] delimit v's half-edges (size n + 1; empty
+  /// for the default zero-node graph).
+  std::vector<std::size_t> offsets_;
+  std::vector<HalfEdge> half_edges_;
+  std::size_t num_edges_ = 0;
 };
 
 /// Convenience: build a graph from an explicit edge list over n nodes.
@@ -134,6 +180,15 @@ Graph from_edges(NodeId num_nodes,
 /// construct rotation maps that sequential port assignment cannot express
 /// (e.g. parallel edges with crossed port orders).
 Graph from_rotation(std::vector<std::vector<HalfEdge>> adj);
+
+/// Flat-form overload: the rotation map already in CSR layout —
+/// half_edges[offsets[v] + p] is the far half-edge of (v, p).  Requires
+/// offsets.size() >= 1, offsets.front() == 0, offsets monotone and
+/// offsets.back() == half_edges.size().  Lets bulk producers (degree
+/// reduction, Reingold rotation maps) hand over storage without building
+/// n per-vertex vectors first.
+Graph from_rotation(std::vector<std::size_t> offsets,
+                    std::vector<HalfEdge> half_edges);
 
 /// Human-readable one-line summary ("n=8 m=12 deg=[3,3]").
 std::string describe(const Graph& g);

@@ -52,15 +52,17 @@ DenseRotationMap DenseRotationMap::from_graph(const graph::Graph& g) {
 }
 
 graph::Graph DenseRotationMap::to_graph() const {
-  std::vector<std::vector<graph::HalfEdge>> adj(n_);
-  for (std::uint64_t v = 0; v < n_; ++v) {
-    adj[v].resize(d_);
+  // rot_ is already a flat d-regular rotation map; hand it to the graph in
+  // CSR form without building n per-vertex vectors.
+  std::vector<graph::HalfEdge> half(n_ * d_);
+  for (std::uint64_t v = 0; v < n_; ++v)
     for (std::uint32_t i = 0; i < d_; ++i) {
       Place q = rot_[v * d_ + i];
-      adj[v][i] = {static_cast<graph::NodeId>(q.vertex), q.edge};
+      half[v * d_ + i] = {static_cast<graph::NodeId>(q.vertex), q.edge};
     }
-  }
-  return graph::from_rotation(std::move(adj));
+  std::vector<std::size_t> offsets(n_ + 1);
+  for (std::uint64_t v = 0; v <= n_; ++v) offsets[v] = v * d_;
+  return graph::from_rotation(std::move(offsets), std::move(half));
 }
 
 DenseRotationMap DenseRotationMap::materialize(const RotationOracle& o) {

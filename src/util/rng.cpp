@@ -4,21 +4,6 @@
 
 namespace uesr::util {
 
-std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t counter) {
-  // Two rounds of SplitMix-style finalization over a seed/counter blend.
-  std::uint64_t z = seed ^ (counter * 0x9e3779b97f4a7c15ULL) ^
-                    0xd1b54a32d192ed03ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  // Second round keyed differently so (seed, k) and (seed ^ x, k') collisions
-  // do not line up trivially.
-  z += seed;
-  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
-  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
-  return z ^ (z >> 33);
-}
-
 Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
   next();
   state_ += seed;
@@ -56,14 +41,6 @@ std::uint64_t Pcg32::next_u64() {
   std::uint64_t hi = next();
   std::uint64_t lo = next();
   return (hi << 32) | lo;
-}
-
-std::uint32_t CounterRng::value_below(std::uint64_t k, std::uint32_t bound) const {
-  if (bound == 0)
-    throw std::invalid_argument("CounterRng::value_below: bound == 0");
-  // Multiply-shift reduction of the high 32 bits; bias < bound / 2^32.
-  std::uint64_t v = value(k) >> 32;
-  return static_cast<std::uint32_t>((v * bound) >> 32);
 }
 
 }  // namespace uesr::util

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 
 namespace uesr::util {
 
@@ -35,7 +36,22 @@ class SplitMix64 {
 
 /// Stateless mix: a high-quality 64-bit hash of (seed, counter).
 /// The same (seed, counter) pair always yields the same value.
-std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t counter);
+/// Inline so block evaluation (ExplorationSequence::fill) pipelines the
+/// independent per-counter hashes instead of paying a call per element.
+inline std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t counter) {
+  // Two rounds of SplitMix-style finalization over a seed/counter blend.
+  std::uint64_t z = seed ^ (counter * 0x9e3779b97f4a7c15ULL) ^
+                    0xd1b54a32d192ed03ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  // Second round keyed differently so (seed, k) and (seed ^ x, k') collisions
+  // do not line up trivially.
+  z += seed;
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return z ^ (z >> 33);
+}
 
 /// PCG32 (O'Neill): small, fast, statistically strong 32-bit generator.
 class Pcg32 {
@@ -77,7 +93,13 @@ class CounterRng {
 
   /// k-th draw reduced to [0, bound).  bound must be > 0.  The tiny modulo
   /// bias (< 2^-32 for bound <= 2^32) is irrelevant for our uses.
-  std::uint32_t value_below(std::uint64_t k, std::uint32_t bound) const;
+  std::uint32_t value_below(std::uint64_t k, std::uint32_t bound) const {
+    if (bound == 0)
+      throw std::invalid_argument("CounterRng::value_below: bound == 0");
+    // Multiply-shift reduction of the high 32 bits; bias < bound / 2^32.
+    std::uint64_t v = value(k) >> 32;
+    return static_cast<std::uint32_t>((v * bound) >> 32);
+  }
 
   std::uint64_t seed() const { return seed_; }
 

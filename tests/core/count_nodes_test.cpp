@@ -127,6 +127,25 @@ TEST(CountNodes, FaithfulMatchesFastExactly) {
   }
 }
 
+TEST(CountNodes, MemoizationChargesFaithfulCosts) {
+  // The coordinator memoizes retrieved names (kFast and kFaithful alike),
+  // but the protocol's cost model must be untouched: a memo hit charges
+  // exactly the 2*(i+1) transmissions and one probe a real Retrieve(i)
+  // costs, so both execution modes report identical totals.  This pins the
+  // memoized counting phase against the message-faithful execution on
+  // graphs where the O(L^2) scan has many repeat lookups.
+  for (const Graph& g : {graph::star(3), graph::k4(), graph::cycle(5)}) {
+    ReducedGraph net = reduce_to_cubic(g);
+    auto fast = count_nodes(net, 0, tiny_family(7), CountMode::kFast);
+    auto faithful = count_nodes(net, 0, tiny_family(7), CountMode::kFaithful);
+    EXPECT_EQ(fast.transmissions, faithful.transmissions)
+        << graph::describe(g);
+    EXPECT_EQ(fast.probes, faithful.probes) << graph::describe(g);
+    EXPECT_EQ(fast.gadget_count, faithful.gadget_count) << graph::describe(g);
+    EXPECT_GT(fast.transmissions, 0u);
+  }
+}
+
 TEST(CountNodes, IsolatedSourceCountsItself) {
   Graph g = graph::from_edges(3, {{0, 1}});  // 2 isolated
   ReducedGraph net = reduce_to_cubic(g);

@@ -83,5 +83,80 @@ TEST(StandardUes, NameMentionsParameters) {
   EXPECT_NE(seq->name().find("n=16"), std::string::npos);
 }
 
+// ---- fill(): block evaluation must equal symbol() element-wise ----------
+
+TEST(Fill, MatchesSymbolElementwiseBothFamilies) {
+  const std::uint64_t len = 3 * SymbolStream::kBlock + 17;
+  RandomExplorationSequence random(42, len, 64);
+  std::vector<Symbol> fixed_syms(len);
+  for (std::uint64_t i = 0; i < len; ++i)
+    fixed_syms[i] = static_cast<Symbol>((i * 7 + 3) % 5);
+  FixedExplorationSequence fixed(fixed_syms, 64, "fixture");
+  for (const ExplorationSequence* seq :
+       {static_cast<const ExplorationSequence*>(&random),
+        static_cast<const ExplorationSequence*>(&fixed)}) {
+    // Windows chosen to start/end inside, at, and across block boundaries.
+    const std::uint64_t starts[] = {1,
+                                    2,
+                                    SymbolStream::kBlock - 1,
+                                    SymbolStream::kBlock,
+                                    SymbolStream::kBlock + 1,
+                                    2 * SymbolStream::kBlock - 3,
+                                    len - 40};
+    for (std::uint64_t begin : starts) {
+      std::vector<Symbol> out(41);
+      seq->fill(begin, out.size(), out.data());
+      for (std::uint64_t k = 0; k < out.size(); ++k)
+        EXPECT_EQ(out[k], seq->symbol(begin + k))
+            << seq->name() << " begin=" << begin << " k=" << k;
+    }
+    // Full-length fill in one call.
+    std::vector<Symbol> all(len);
+    seq->fill(1, len, all.data());
+    for (std::uint64_t i = 1; i <= len; ++i)
+      EXPECT_EQ(all[i - 1], seq->symbol(i));
+  }
+}
+
+TEST(Fill, RejectsBadRanges) {
+  RandomExplorationSequence random(7, 100, 16);
+  FixedExplorationSequence fixed({0, 1, 2, 1}, 4, "tiny");
+  Symbol buf[8];
+  EXPECT_THROW(random.fill(0, 1, buf), std::out_of_range);
+  EXPECT_THROW(random.fill(101, 1, buf), std::out_of_range);
+  EXPECT_THROW(random.fill(99, 3, buf), std::out_of_range);
+  EXPECT_THROW(fixed.fill(0, 1, buf), std::out_of_range);
+  EXPECT_THROW(fixed.fill(3, 3, buf), std::out_of_range);
+  // count == 0 is a no-op anywhere.
+  EXPECT_NO_THROW(random.fill(1, 0, buf));
+  EXPECT_NO_THROW(fixed.fill(4, 0, buf));
+}
+
+TEST(Fill, DefaultImplementationServesCustomSequences) {
+  // A minimal custom family exercises the base-class fill() loop.
+  class Ramp final : public ExplorationSequence {
+   public:
+    std::uint64_t length() const override { return 10; }
+    Symbol symbol(std::uint64_t i) const override {
+      return static_cast<Symbol>(i % 3);
+    }
+    graph::NodeId target_size() const override { return 4; }
+    std::string name() const override { return "ramp"; }
+  } ramp;
+  Symbol out[10];
+  ramp.fill(2, 9, out);
+  for (std::uint64_t k = 0; k < 9; ++k)
+    EXPECT_EQ(out[k], ramp.symbol(2 + k));
+}
+
+TEST(SymbolStream, HandsOutSymbolsInOrderAcrossBlocks) {
+  const std::uint64_t len = 2 * SymbolStream::kBlock + 5;
+  RandomExplorationSequence seq(9, len, 32);
+  SymbolStream stream(seq);
+  for (std::uint64_t i = 1; i <= len; ++i)
+    ASSERT_EQ(stream.next(), seq.symbol(i)) << "i=" << i;
+  EXPECT_THROW(stream.next(), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace uesr::explore

@@ -181,5 +181,48 @@ TEST(Walker, BadStartThrows) {
   EXPECT_THROW(trace_walk(g, {0, 9}, seq, 10), std::invalid_argument);
 }
 
+TEST(Walker, CoverTimeOverloadMatchesWrapperAcrossStarts) {
+  // The (need, scratch) overload with one shared scratch must agree with
+  // the public single-start wrapper for every start half-edge, including
+  // disconnected pieces (differing component sizes).
+  Graph g = graph::from_edges(
+      7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 6}, {6, 3}});
+  RandomExplorationSequence seq(13, 600, 7);
+  WalkScratch scratch;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t need = graph::component_of(g, v).size();
+    for (graph::Port p = 0; p < g.degree(v); ++p) {
+      auto expected = cover_time(g, {v, p}, seq);
+      auto got = cover_time(g, {v, p}, seq, need, scratch);
+      EXPECT_EQ(got, expected) << "start=(" << v << "," << p << ")";
+      EXPECT_EQ(covers_component(g, {v, p}, seq, need, scratch),
+                expected.has_value());
+    }
+  }
+}
+
+TEST(Walker, VisitedCountMatchesTrace) {
+  Graph g = graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  FixedExplorationSequence seq({1, 1, 0, 1, 1, 2, 0, 1}, 6, "short");
+  WalkScratch scratch;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    for (graph::Port p = 0; p < g.degree(v); ++p) {
+      auto tr = trace_walk(g, {v, p}, seq, seq.length());
+      EXPECT_EQ(visited_count(g, {v, p}, seq, scratch),
+                tr.first_visits.size())
+          << "start=(" << v << "," << p << ")";
+    }
+}
+
+TEST(Walker, ScratchAdaptsToDifferentGraphSizes) {
+  WalkScratch scratch;
+  Graph small = graph::cycle(3);
+  Graph big = graph::cycle(50);
+  RandomExplorationSequence seq(5, 20000, 50);
+  EXPECT_TRUE(covers_component(small, {0, 0}, seq, 3, scratch));
+  EXPECT_TRUE(covers_component(big, {0, 0}, seq, 50, scratch));
+  EXPECT_TRUE(covers_component(small, {0, 0}, seq, 3, scratch));
+}
+
 }  // namespace
 }  // namespace uesr::explore

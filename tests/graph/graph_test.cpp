@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "graph/generators.h"
+
 namespace uesr::graph {
 namespace {
 
@@ -182,6 +184,127 @@ TEST(Graph, EmptyGraph) {
   EXPECT_EQ(g.num_nodes(), 0u);
   EXPECT_EQ(g.num_edges(), 0u);
   EXPECT_EQ(g.max_degree(), 0u);
+}
+
+// ---- CSR layout: observational identity with the rotation-map model ----
+
+// Extracts the rotation map through the public API.
+std::vector<std::vector<HalfEdge>> extract_rotation(const Graph& g) {
+  std::vector<std::vector<HalfEdge>> adj(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    adj[v].resize(g.degree(v));
+    for (Port p = 0; p < g.degree(v); ++p) adj[v][p] = g.rotate(v, p);
+  }
+  return adj;
+}
+
+TEST(GraphCsr, CubicDetectionAndRotate3) {
+  Graph cubic = k4();
+  EXPECT_TRUE(cubic.is_cubic());
+  for (NodeId v = 0; v < cubic.num_nodes(); ++v)
+    for (Port p = 0; p < 3; ++p)
+      EXPECT_EQ(cubic.rotate3(v, p), cubic.rotate(v, p));
+  EXPECT_FALSE(path(3).is_cubic());
+  EXPECT_FALSE(GraphBuilder(0).build().is_cubic());
+}
+
+TEST(GraphCsr, HalfEdgeDataMatchesRotate) {
+  Graph g = gnp(12, 0.3, 5);
+  const HalfEdge* data = g.half_edge_data();
+  std::size_t idx = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Port p = 0; p < g.degree(v); ++p)
+      EXPECT_EQ(data[idx++], g.rotate(v, p));
+}
+
+TEST(GraphCsr, FlatFromRotationEqualsNested) {
+  // Crossed parallel edges plus a half loop: a rotation map sequential port
+  // assignment cannot express.
+  std::vector<std::vector<HalfEdge>> adj(2);
+  adj[0] = {{1, 1}, {1, 0}, {0, 2}};  // ports 0,1 cross; port 2 half loop
+  adj[1] = {{0, 1}, {0, 0}};
+  std::vector<HalfEdge> flat;
+  std::vector<std::size_t> offsets{0};
+  for (const auto& row : adj) {
+    flat.insert(flat.end(), row.begin(), row.end());
+    offsets.push_back(flat.size());
+  }
+  Graph nested = from_rotation(adj);
+  Graph flat_g = from_rotation(std::move(offsets), std::move(flat));
+  EXPECT_EQ(nested, flat_g);
+  EXPECT_TRUE(nested.is_half_loop(0, 2));
+  EXPECT_EQ(nested.rotate(0, 0), (HalfEdge{1, 1}));
+}
+
+TEST(GraphCsr, FlatFromRotationValidatesShape) {
+  // offsets not starting at 0.
+  EXPECT_THROW(from_rotation(std::vector<std::size_t>{1, 1},
+                             std::vector<HalfEdge>{}),
+               std::invalid_argument);
+  // offsets not covering the half-edge array.
+  EXPECT_THROW(from_rotation(std::vector<std::size_t>{0, 1},
+                             std::vector<HalfEdge>{{0, 0}, {0, 1}}),
+               std::invalid_argument);
+  // non-monotone offsets.
+  EXPECT_THROW(from_rotation(std::vector<std::size_t>{0, 2, 1},
+                             std::vector<HalfEdge>{{0, 1}, {0, 0}}),
+               std::invalid_argument);
+  // involution violations still detected through the flat path.
+  EXPECT_THROW(from_rotation(std::vector<std::size_t>{0, 1, 2},
+                             std::vector<HalfEdge>{{1, 0}, {0, 1}}),
+               std::logic_error);
+}
+
+TEST(GraphCsr, ZeroNodeGraphsEqualAcrossConstructionPaths) {
+  // Every way of building the empty graph must normalize to the same
+  // representation, or the defaulted operator== would leak the layout.
+  EXPECT_EQ(Graph(), GraphBuilder(0).build());
+  EXPECT_EQ(Graph(), from_rotation(std::vector<std::vector<HalfEdge>>{}));
+  EXPECT_EQ(Graph(), from_rotation(std::vector<std::size_t>{0},
+                                   std::vector<HalfEdge>{}));
+  EXPECT_EQ(Graph(), from_rotation(std::vector<std::size_t>{},
+                                   std::vector<HalfEdge>{}));
+}
+
+TEST(GraphCsr, RoundTripThroughFromRotation) {
+  util::Pcg32 rng(123);
+  const std::vector<Graph> zoo = {
+      gnp(17, 0.2, 3),
+      random_connected_regular(12, 3, 4),
+      random_cubic_multigraph(10, 8),
+      star(4),
+      from_edges(5, {{0, 0}, {1, 2}, {2, 1}, {3, 4}}),
+  };
+  for (const Graph& g : zoo) {
+    // from_rotation over the extracted map reproduces an equal graph.
+    Graph h = from_rotation(extract_rotation(g));
+    EXPECT_EQ(g, h) << describe(g);
+    // Observational agreement on every accessor.
+    ASSERT_EQ(g.num_nodes(), h.num_nodes());
+    EXPECT_EQ(g.num_edges(), h.num_edges());
+    EXPECT_EQ(g.is_cubic(), h.is_cubic());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(g.degree(v), h.degree(v));
+      EXPECT_EQ(g.neighbors(v), h.neighbors(v));
+      for (Port p = 0; p < g.degree(v); ++p) {
+        EXPECT_EQ(g.rotate(v, p), h.rotate(v, p));
+        EXPECT_EQ(g.neighbor(v, p), h.neighbor(v, p));
+        EXPECT_EQ(g.is_half_loop(v, p), h.is_half_loop(v, p));
+      }
+    }
+    EXPECT_NO_THROW(h.validate());
+    // Relabel by a random permutation and undo it: identity round trip.
+    std::vector<std::vector<Port>> perms(g.num_nodes());
+    std::vector<std::vector<Port>> inverse(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      perms[v].resize(g.degree(v));
+      std::iota(perms[v].begin(), perms[v].end(), Port{0});
+      std::shuffle(perms[v].begin(), perms[v].end(), rng);
+      inverse[v].resize(perms[v].size());
+      for (Port p = 0; p < perms[v].size(); ++p) inverse[v][perms[v][p]] = p;
+    }
+    EXPECT_EQ(g.relabeled(perms).relabeled(inverse), g) << describe(g);
+  }
 }
 
 }  // namespace

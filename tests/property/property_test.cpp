@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <numeric>
 #include <string>
 
 #include "core/api.h"
@@ -23,6 +24,7 @@
 #include "explore/walker.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
+#include "graph/geometric.h"
 
 namespace uesr {
 namespace {
@@ -178,6 +180,46 @@ TEST_P(GraphZoo, CoverTimeIsPrefixStable) {
   }
 }
 
+// ---- P8: the CSR graph layout is observationally a rotation map --------
+
+TEST_P(GraphZoo, CsrLayoutIsObservationallyARotationMap) {
+  // Re-expressing the graph through from_rotation (the nested, layout-
+  // agnostic constructor) must reproduce an identical graph: the storage
+  // scheme cannot be observable.
+  std::vector<std::vector<graph::HalfEdge>> adj(g_.num_nodes());
+  for (graph::NodeId v = 0; v < g_.num_nodes(); ++v) {
+    adj[v].resize(g_.degree(v));
+    for (graph::Port p = 0; p < g_.degree(v); ++p)
+      adj[v][p] = g_.rotate(v, p);
+  }
+  graph::Graph h = graph::from_rotation(std::move(adj));
+  EXPECT_EQ(g_, h);
+  EXPECT_NO_THROW(h.validate());
+  // The cubic specialization agrees with the general path everywhere.
+  if (g_.is_cubic()) {
+    for (graph::NodeId v = 0; v < g_.num_nodes(); ++v)
+      for (graph::Port p = 0; p < 3; ++p)
+        EXPECT_EQ(g_.rotate3(v, p), g_.rotate(v, p));
+  }
+}
+
+TEST_P(GraphZoo, RelabelInverseRoundTrip) {
+  util::Pcg32 rng(17);
+  std::vector<std::vector<graph::Port>> perms(g_.num_nodes());
+  std::vector<std::vector<graph::Port>> inverse(g_.num_nodes());
+  for (graph::NodeId v = 0; v < g_.num_nodes(); ++v) {
+    perms[v].resize(g_.degree(v));
+    std::iota(perms[v].begin(), perms[v].end(), graph::Port{0});
+    std::shuffle(perms[v].begin(), perms[v].end(), rng);
+    inverse[v].resize(perms[v].size());
+    for (graph::Port p = 0; p < perms[v].size(); ++p)
+      inverse[v][perms[v][p]] = p;
+  }
+  graph::Graph relabeled = g_.relabeled(perms);
+  EXPECT_NO_THROW(relabeled.validate());
+  EXPECT_EQ(relabeled.relabeled(inverse), g_);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Zoo, GraphZoo,
     ::testing::Values(
@@ -213,7 +255,9 @@ INSTANTIATE_TEST_SUITE_P(
         GraphCase{"gnp12", [] { return graph::gnp(12, 0.25, 5); }},
         GraphCase{"cubic10",
                   [] { return graph::random_connected_regular(10, 3, 2); }},
-        GraphCase{"tree13", [] { return graph::random_tree(13, 9); }}),
+        GraphCase{"tree13", [] { return graph::random_tree(13, 9); }},
+        GraphCase{"disk10",
+                  [] { return graph::unit_disk_2d(10, 0.45, 21).graph; }}),
     [](const ::testing::TestParamInfo<GraphCase>& info) {
       return info.param.name;
     });
