@@ -116,6 +116,7 @@ int main() {
     for (const auto& alt : alts) {
       std::uint64_t walks = 0, covered = 0;
       util::Pcg32 rng(9);
+      explore::WalkScratch scratch;
       for (graph::NodeId n : {8u, 10u}) {
         for (const auto& g : graph::connected_cubic_graphs(n, 1)) {
           graph::Graph labeled = g.randomly_relabeled(rng);
@@ -126,9 +127,13 @@ int main() {
             syms[i] = alt.symbols[cr.value_below(
                 i, static_cast<std::uint32_t>(alt.symbols.size()))];
           explore::FixedExplorationSequence seq(syms, n, alt.name);
+          // Catalogue graphs are connected: every walk needs the whole
+          // graph, so reuse one scratch instead of a BFS + allocation per
+          // walk (the PR 2 (need, scratch) convention).
           for (graph::NodeId v = 0; v < labeled.num_nodes(); v += 2) {
             ++walks;
-            covered += explore::covers_component(labeled, {v, 0}, seq);
+            covered += explore::covers_component(
+                labeled, {v, 0}, seq, labeled.num_nodes(), scratch);
           }
         }
       }

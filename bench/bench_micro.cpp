@@ -8,7 +8,9 @@
 #include "core/route.h"
 #include "explore/degree_reduce.h"
 #include "explore/sequence.h"
+#include "explore/universal.h"
 #include "explore/walker.h"
+#include "graph/catalog.h"
 #include "graph/generators.h"
 #include "reingold/products.h"
 #include "reingold/rotation_map.h"
@@ -153,6 +155,68 @@ void BM_CoverCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoverCheck)->Arg(16)->Arg(64);
+
+// Parallel verification harness (DESIGN.md §"Parallel verification
+// harness").  Each benchmark carries a `threads` counter so BENCH_micro.json
+// rows can be compared across thread counts next to the retained serial
+// baselines above; the checked reports are bit-identical at every thread
+// count — only the wall clock moves.
+
+// covers_all_starts fanned over all 3n start half-edges of one cubic graph.
+void BM_CoverCheckParallel(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  graph::Graph g = graph::random_connected_regular(64, 3, 5);
+  explore::RandomExplorationSequence seq(3, 64ULL * 64 * 64, g.num_nodes());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explore::covers_all_starts(g, seq, threads));
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(state.iterations() * 3 * 64);  // walks
+}
+BENCHMARK(BM_CoverCheckParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Definition-3 exhaustive check, whole labelling space of the first n=6
+// catalogue graph: 6^6 = 46656 labellings x 18 start edges, sharded by
+// mixed-radix rank across workers.  The sequence covers every labelling
+// (verified), so the sweep never early-exits and the measured work is the
+// full space.
+void BM_UniversalExhaustive(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  graph::Graph g = graph::connected_cubic_graphs(6, 1).front();
+  explore::RandomExplorationSequence seq(0x5eed, 2048, 6);
+  std::uint64_t walks = 0;
+  for (auto _ : state) {
+    auto rep = explore::check_universal_exhaustive(g, seq, threads);
+    walks += rep.walks_checked;
+    benchmark::DoNotOptimize(rep.universal);
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(walks));
+}
+BENCHMARK(BM_UniversalExhaustive)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The n=8 catalogue regime: a fixed 6^5-labelling shard (x 24 start edges)
+// of the first 8-vertex cubic graph via check_universal_exhaustive_range —
+// the same rank sharding that distributes the full 6^8 sweep across
+// machines.
+void BM_UniversalExhaustiveShard8(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  graph::Graph g = graph::connected_cubic_graphs(8, 1).front();
+  explore::RandomExplorationSequence seq(0x5eed, 4096, 8);
+  std::uint64_t walks = 0;
+  for (auto _ : state) {
+    auto rep = explore::check_universal_exhaustive_range(g, seq, 0, 7776,
+                                                         threads);
+    walks += rep.walks_checked;
+    benchmark::DoNotOptimize(rep.universal);
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(static_cast<std::int64_t>(walks));
+}
+BENCHMARK(BM_UniversalExhaustiveShard8)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -6,8 +6,17 @@
 // closure scan — and the doubling stops at the first bound whose walk
 // achieves neighbourhood closure.  Faithful mode (every hop sent) is run
 // on the small rows and must match fast mode bit for bit.
+//
+// Rows fan out over the shared threads knob (one census per row, all
+// independent); row results merge in row order, so every data cell and
+// the fitted exponent are identical for any --threads value.  The per-row
+// `ms` column is wall clock and moves with the knob — concurrent rows
+// share cores, so at --threads>1 it reads high per row even as the whole
+// table finishes sooner.
 // Index row: DESIGN.md §4 / EXPERIMENTS.md (E6) — expected shape lives there.
 #include "bench_common.h"
+
+#include <vector>
 
 #include "core/count_nodes.h"
 #include "explore/degree_reduce.h"
@@ -16,11 +25,14 @@
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uesr;
+  const unsigned threads = bench::threads_knob(argc, argv);
   bench::banner("E6 / §4 — CountNodes census",
                 "paper: the size of Cs is computable in time poly(|Cs|) "
                 "with O(log n) space and no prior knowledge");
+  bench::report_threads(threads);
+  util::ThreadPool pool(threads);
 
   auto family = [](std::uint64_t seed) {
     return core::default_sequence_family(seed);
@@ -42,37 +54,53 @@ int main() {
   rows.push_back({"gnp(24,.12)", graph::connected_gnp(24, 0.12, 5), 0});
   rows.push_back({"gnp(40,.08)-comp", graph::gnp(40, 0.08, 9), 0});
 
+  struct RowResult {
+    std::size_t truth = 0;
+    core::CountResult fast;
+    std::string same = "-";
+    double ms = 0.0;
+  };
+  std::vector<RowResult> results(rows.size());
+  // One census per row; rows are independent, so fan them out whole (the
+  // per-row ms stays a wall-clock measurement of that row's census).
+  util::parallel_for(pool, rows.size(), 1, [&](const util::ChunkRange& c) {
+    for (std::uint64_t i = c.begin; i < c.end; ++i) {
+      auto& [name, g, s] = rows[i];
+      RowResult& out = results[i];
+      explore::ReducedGraph red = explore::reduce_to_cubic(g);
+      bench::Timer timer;
+      out.fast = core::count_nodes(red, s, family(17), core::CountMode::kFast);
+      out.ms = timer.seconds() * 1e3;
+      if (red.cubic.num_nodes() <= 12) {
+        auto faithful =
+            core::count_nodes(red, s, family(17), core::CountMode::kFaithful);
+        out.same = (faithful.transmissions == out.fast.transmissions &&
+                    faithful.gadget_count == out.fast.gadget_count &&
+                    faithful.probes == out.fast.probes)
+                       ? "yes"
+                       : "NO";
+      }
+      out.truth = graph::component_of(g, s).size();
+    }
+  });
+
   util::Table t({"graph", "|Cs| truth", "counted", "|Cs'|", "epochs",
                  "probes", "transmissions", "faithful==fast", "ms"});
   std::vector<double> xs, ys;
-  for (auto& [name, g, s] : rows) {
-    explore::ReducedGraph red = explore::reduce_to_cubic(g);
-    bench::Timer timer;
-    auto fast = core::count_nodes(red, s, family(17), core::CountMode::kFast);
-    double ms = timer.seconds() * 1e3;
-    std::string same = "-";
-    if (red.cubic.num_nodes() <= 12) {
-      auto faithful =
-          core::count_nodes(red, s, family(17), core::CountMode::kFaithful);
-      same = (faithful.transmissions == fast.transmissions &&
-              faithful.gadget_count == fast.gadget_count &&
-              faithful.probes == fast.probes)
-                 ? "yes"
-                 : "NO";
-    }
-    std::size_t truth = graph::component_of(g, s).size();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RowResult& r = results[i];
     t.row()
-        .cell(name)
-        .cell(truth)
-        .cell(fast.original_count)
-        .cell(fast.gadget_count)
-        .cell(static_cast<int>(fast.epochs))
-        .cell(fast.probes)
-        .cell(fast.transmissions)
-        .cell(same)
-        .cell(ms, 1);
-    xs.push_back(static_cast<double>(fast.gadget_count));
-    ys.push_back(static_cast<double>(fast.transmissions));
+        .cell(rows[i].name)
+        .cell(r.truth)
+        .cell(r.fast.original_count)
+        .cell(r.fast.gadget_count)
+        .cell(static_cast<int>(r.fast.epochs))
+        .cell(r.fast.probes)
+        .cell(r.fast.transmissions)
+        .cell(r.same)
+        .cell(r.ms, 1);
+    xs.push_back(static_cast<double>(r.fast.gadget_count));
+    ys.push_back(static_cast<double>(r.fast.transmissions));
   }
   t.print(std::cout);
   auto fit = util::loglog_fit(xs, ys);

@@ -6,6 +6,12 @@
 // methods break) and returns certified failures exactly on the
 // disconnected pairs.  Random walk with a TTL misses some pairs; flooding
 // delivers everything but needs per-node state (model violation).
+//
+// Trials fan out over the shared threads knob: the pair list is drawn
+// serially up front (same pairs as ever), each trial's random-walk
+// baseline is seeded per trial index, and per-chunk counters merge in
+// chunk order — every data cell is identical for any --threads value
+// (only the wall-clock `s` column moves).
 // Index row: DESIGN.md §4 / EXPERIMENTS.md (E2) — expected shape lives there.
 #include "bench_common.h"
 
@@ -22,11 +28,14 @@
 #include "util/rng.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uesr;
+  const unsigned threads = bench::threads_knob(argc, argv);
   bench::banner("E2 / Thm 1 — guaranteed delivery",
                 "paper: the UES router delivers iff a path exists, on any "
                 "static topology, with stateless nodes");
+  bench::report_threads(threads);
+  util::ThreadPool pool(threads);
 
   struct Net {
     std::string name;
@@ -49,7 +58,7 @@ int main() {
                   }())});
 
   util::Table t({"topology", "pairs", "connected", "ues ok", "ues certified-fail",
-                 "rw(ttl) ok", "flood ok", "errors"});
+                 "rw(ttl) ok", "flood ok", "errors", "s"});
   const int kPairs = 60;
   for (auto& [name, g] : nets) {
     core::AdHocNetwork net(g);
@@ -57,32 +66,61 @@ int main() {
     // slow ones — exposing the "sufficiently unlucky" failure mode of §1.2.
     auto ttl = static_cast<std::uint64_t>(
         10.0 * std::pow(static_cast<double>(g.num_nodes()), 1.5));
-    baselines::RandomWalkRouter rw(g, ttl, 77);
-    baselines::FloodingRouter fl(g);
+    // The pair list is drawn serially, exactly as the serial driver did.
     util::Pcg32 rng(123);
-    int connected = 0, ues_ok = 0, certified = 0, rw_ok = 0, fl_ok = 0,
-        errors = 0;
-    for (int i = 0; i < kPairs; ++i) {
-      graph::NodeId s = rng.next_below(g.num_nodes());
-      graph::NodeId tgt = rng.next_below(g.num_nodes());
-      bool truth = graph::has_path(g, s, tgt);
-      connected += truth;
-      auto r = net.route(s, tgt);
-      if (r.delivered != truth) ++errors;  // should never happen
-      ues_ok += r.delivered;
-      certified += (!truth && !r.delivered);
-      rw_ok += rw.route(s, tgt).delivered;
-      fl_ok += fl.route(s, tgt).delivered;
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs(kPairs);
+    for (auto& [s, tgt] : pairs) {
+      s = rng.next_below(g.num_nodes());
+      tgt = rng.next_below(g.num_nodes());
     }
+
+    struct Part {
+      int connected = 0, ues_ok = 0, certified = 0, rw_ok = 0, fl_ok = 0,
+          errors = 0;
+    };
+    bench::Timer timer;
+    Part merged = util::parallel_reduce<Part>(
+        pool, pairs.size(), util::default_chunk(pairs.size(), pool.size()),
+        Part{},
+        [&](const util::ChunkRange& c) {
+          Part part;
+          for (std::uint64_t i = c.begin; i < c.end; ++i) {
+            const auto [s, tgt] = pairs[i];
+            bool truth = graph::has_path(g, s, tgt);
+            part.connected += truth;
+            auto r = net.route(s, tgt);  // const, stateless: shared safely
+            if (r.delivered != truth) ++part.errors;  // should never happen
+            part.ues_ok += r.delivered;
+            part.certified += (!truth && !r.delivered);
+            // Baselines are stateful (per-route RNG stream): give trial i
+            // its own instance seeded by the trial index so the outcome is
+            // a pure function of (seed, i).
+            baselines::RandomWalkRouter rw(g, ttl, util::counter_hash(77, i));
+            part.rw_ok += rw.route(s, tgt).delivered;
+            baselines::FloodingRouter fl(g);
+            part.fl_ok += fl.route(s, tgt).delivered;
+          }
+          return part;
+        },
+        [](Part acc, Part p) {
+          acc.connected += p.connected;
+          acc.ues_ok += p.ues_ok;
+          acc.certified += p.certified;
+          acc.rw_ok += p.rw_ok;
+          acc.fl_ok += p.fl_ok;
+          acc.errors += p.errors;
+          return acc;
+        });
     t.row()
         .cell(name)
         .cell(kPairs)
-        .cell(connected)
-        .cell(ues_ok)
-        .cell(certified)
-        .cell(rw_ok)
-        .cell(fl_ok)
-        .cell(errors);
+        .cell(merged.connected)
+        .cell(merged.ues_ok)
+        .cell(merged.certified)
+        .cell(merged.rw_ok)
+        .cell(merged.fl_ok)
+        .cell(merged.errors)
+        .cell(timer.seconds(), 3);
   }
   t.print(std::cout);
   std::cout << "\nues ok == connected and errors == 0 on every row: "

@@ -4,6 +4,11 @@
 // the reduced component size (log-log slope ~2-3 for the pseudorandom
 // T_n family whose length is ~n^2 log n); the walk terminates within the
 // sequence budget on every trial; success transmissions = 2*(hit+1).
+//
+// Trials fan out over the shared threads knob: pairs are drawn serially
+// up front, routed in parallel, and the per-chunk Samples merge in chunk
+// order — every data cell and the fitted exponents are bit-identical for
+// any --threads value (only the wall-clock `s` column moves).
 // Index row: DESIGN.md §4 / EXPERIMENTS.md (E3) — expected shape lives there.
 #include "bench_common.h"
 
@@ -16,14 +21,17 @@
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uesr;
+  const unsigned threads = bench::threads_knob(argc, argv);
   bench::banner("E3 / Thm 1 — poly(|Cs|) routing time",
                 "paper: routing runs in time poly(|Cs|); we fit the "
                 "measured exponent");
+  bench::report_threads(threads);
+  util::ThreadPool pool(threads);
 
   util::Table t({"family", "n", "|Cs'|", "trials", "mean fwd steps",
-                 "p95 fwd steps", "L_n budget", "mean/L"});
+                 "p95 fwd steps", "L_n budget", "mean/L", "s"});
 
   struct Family {
     std::string name;
@@ -46,16 +54,31 @@ int main() {
     for (graph::NodeId n : {8u, 16u, 32u, 64u}) {
       graph::Graph g = fam.make(n, 42);
       core::AdHocNetwork net(g);
-      util::Pcg32 rng(7);
-      util::Samples fwd;
       const int kTrials = 12;
-      for (int i = 0; i < kTrials; ++i) {
-        graph::NodeId s = rng.next_below(n);
-        graph::NodeId tgt = rng.next_below(n);
+      // Same serial pair draw as ever; only the routing fans out.
+      util::Pcg32 rng(7);
+      std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs(kTrials);
+      for (auto& [s, tgt] : pairs) {
+        s = rng.next_below(n);
+        tgt = rng.next_below(n);
         if (s == tgt) tgt = (tgt + 1) % n;
-        auto r = net.route(s, tgt);
-        if (r.delivered) fwd.add(static_cast<double>(r.forward_steps));
       }
+      bench::Timer timer;
+      util::Samples fwd = util::parallel_reduce<util::Samples>(
+          pool, pairs.size(), 1, util::Samples{},
+          [&](const util::ChunkRange& c) {
+            util::Samples part;
+            for (std::uint64_t i = c.begin; i < c.end; ++i) {
+              auto r = net.route(pairs[i].first, pairs[i].second);
+              if (r.delivered)
+                part.add(static_cast<double>(r.forward_steps));
+            }
+            return part;
+          },
+          [](util::Samples acc, util::Samples part) {
+            acc.add_all(part);
+            return acc;
+          });
       double cubic_n = net.reduced().cubic.num_nodes();
       xs.push_back(cubic_n);
       ys.push_back(std::max(fwd.mean(), 1.0));
@@ -69,7 +92,8 @@ int main() {
           .cell(net.router().sequence().length())
           .cell(fwd.mean() / static_cast<double>(
                                  net.router().sequence().length()),
-                4);
+                4)
+          .cell(timer.seconds(), 3);
     }
     auto fit = util::loglog_fit(xs, ys);
     std::cout << "\n" << fam.name << ": fitted exponent steps ~ |Cs'|^"

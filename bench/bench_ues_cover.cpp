@@ -7,8 +7,17 @@
 //  * short certified-universal sequences exist for small n (Definition 3
 //    made executable): the shipped certificate for n = 4 is re-verified
 //    exhaustively here, labelings x start edges and all.
+//
+// Walks fan out over the shared threads knob: each (graph, labelling,
+// start) trial is independent, labelling j of graph i is drawn from
+// Pcg32(counter_hash(kLabelSeed, i*kLabellings + j)) so any shard of the
+// trial list is reproducible in isolation, and per-chunk Samples merge in
+// chunk order — every data cell is bit-identical for any --threads value
+// (only the wall-clock `s` column moves).
 // Index row: DESIGN.md §4 / EXPERIMENTS.md (E7) — expected shape lives there.
 #include "bench_common.h"
+
+#include <vector>
 
 #include "explore/certified.h"
 #include "explore/walker.h"
@@ -17,44 +26,97 @@
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+namespace {
+
+constexpr std::uint64_t kLabelSeed = 3;
+constexpr int kLabellings = 3;
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uesr;
+  const unsigned threads = bench::threads_knob(argc, argv);
   bench::banner("E7 / §2 — cover times and certified universality",
                 "paper: random sequences of length O(n^2) cover; Reingold "
                 "gives deterministic T_n (here: certified-by-enumeration "
                 "stand-ins; see DESIGN.md)");
+  bench::report_threads(threads);
+  util::ThreadPool pool(threads);
 
   // --- empirical cover time of the pseudorandom family on cubic graphs.
   util::Table t({"n (cubic)", "graphs", "walks", "mean cover steps",
-                 "p95 cover", "max cover", "cover/n^2", "uncovered"});
+                 "p95 cover", "max cover", "cover/n^2", "uncovered", "s"});
   for (graph::NodeId n : {4u, 6u, 8u, 10u, 12u}) {
     auto cat = graph::connected_cubic_graphs(n, 1);
     explore::RandomExplorationSequence seq(0x5eed, 4096ULL * n * n, n);
-    util::Samples cover;
-    std::uint64_t uncovered = 0, walks = 0;
-    util::Pcg32 rng(3);
-    for (const auto& g : cat) {
-      for (int lab = 0; lab < 3; ++lab) {
-        graph::Graph labeled = g.randomly_relabeled(rng);
-        for (graph::NodeId v = 0; v < labeled.num_nodes(); v += 3) {
-          ++walks;
-          auto ct = explore::cover_time(labeled, {v, 0}, seq);
-          if (ct)
-            cover.add(static_cast<double>(*ct));
-          else
-            ++uncovered;
-        }
-      }
-    }
+
+    // Flattened trial list: one entry per (graph, labelling, start) walk.
+    struct Trial {
+      std::uint32_t graph;
+      std::uint32_t lab;
+      graph::NodeId start;
+    };
+    std::vector<Trial> trials;
+    for (std::uint32_t gi = 0; gi < cat.size(); ++gi)
+      for (std::uint32_t lab = 0; lab < kLabellings; ++lab)
+        for (graph::NodeId v = 0; v < n; v += 3)
+          trials.push_back({gi, lab, v});
+
+    struct Part {
+      util::Samples cover;
+      std::uint64_t uncovered = 0;
+      std::uint64_t walks = 0;
+    };
+    bench::Timer timer;
+    Part merged = util::parallel_reduce<Part>(
+        pool, trials.size(), util::default_chunk(trials.size(), pool.size()),
+        Part{},
+        [&](const util::ChunkRange& c) {
+          Part part;
+          explore::WalkScratch scratch;
+          graph::Graph labeled;
+          std::uint64_t have = UINT64_MAX;  // (graph, lab) the cache holds
+          for (std::uint64_t i = c.begin; i < c.end; ++i) {
+            const Trial& trial = trials[i];
+            const std::uint64_t key =
+                trial.graph * std::uint64_t{kLabellings} + trial.lab;
+            if (key != have) {
+              // The labelling is a pure function of its index, so chunk
+              // boundaries (and thread count) cannot change which labelled
+              // graph trial i walks.
+              util::Pcg32 rng(util::counter_hash(kLabelSeed, key));
+              labeled = cat[trial.graph].randomly_relabeled(rng);
+              have = key;
+            }
+            ++part.walks;
+            // Catalogue graphs are connected: the component of any start
+            // is the whole graph.
+            auto ct = explore::cover_time(labeled, {trial.start, 0}, seq,
+                                          labeled.num_nodes(), scratch);
+            if (ct)
+              part.cover.add(static_cast<double>(*ct));
+            else
+              ++part.uncovered;
+          }
+          return part;
+        },
+        [](Part acc, Part part) {
+          acc.cover.add_all(part.cover);
+          acc.uncovered += part.uncovered;
+          acc.walks += part.walks;
+          return acc;
+        });
+    const double sec = timer.seconds();
     t.row()
         .cell(n)
         .cell(cat.size())
-        .cell(walks)
-        .cell(cover.mean(), 1)
-        .cell(cover.percentile(95), 1)
-        .cell(cover.max(), 0)
-        .cell(cover.mean() / (n * n), 2)
-        .cell(uncovered);
+        .cell(merged.walks)
+        .cell(merged.cover.mean(), 1)
+        .cell(merged.cover.percentile(95), 1)
+        .cell(merged.cover.max(), 0)
+        .cell(merged.cover.mean() / (n * n), 2)
+        .cell(merged.uncovered)
+        .cell(sec, 3);
   }
   t.print(std::cout);
   std::cout << "\ncover/n^2 stays a small constant: the O(n^2) cover claim "
@@ -62,7 +124,8 @@ int main() {
 
   // --- certified universal sequence for n = 4, re-verified exhaustively.
   bench::Timer timer;
-  explore::CertifiedUes c = explore::find_certified_ues(4, 2024);
+  explore::CertifiedUes c = explore::find_certified_ues(4, 2024, 46656,
+                                                        threads);
   double sec = timer.seconds();
   std::cout << "\ncertified UES for n<=4: L = " << c.sequence->length()
             << ", corpus graphs = " << c.certificate.graphs_checked
@@ -71,7 +134,8 @@ int main() {
             << (c.certificate.level == explore::CertLevel::kExhaustive
                     ? "EXHAUSTIVE"
                     : "adversarial")
-            << " (" << util::format_double(sec, 2) << " s)\n"
+            << " (" << util::format_double(sec, 2) << " s, " << threads
+            << " threads)\n"
             << "Definition 3 holds by enumeration for every connected "
                "cubic (multi)graph with <= 4 vertices, every port "
                "labelling, every start edge\n";

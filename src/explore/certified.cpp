@@ -104,20 +104,25 @@ std::vector<Graph> certification_corpus(NodeId n, std::uint64_t seed) {
 
 bool certify_sequence(const ExplorationSequence& seq, NodeId n,
                       std::uint64_t seed, Certificate& out,
-                      std::uint64_t exhaustive_labeling_limit) {
+                      std::uint64_t exhaustive_labeling_limit,
+                      unsigned threads) {
   out = Certificate{};
   out.level = CertLevel::kExhaustive;
+  // Corpus graphs are visited serially in corpus order; each graph's
+  // labelling/trial space is what fans out (workers own their scratch
+  // inside check_universal_*).  Counts accumulate in corpus order, so the
+  // certificate is bit-identical for any thread count.
   for (const Graph& g : certification_corpus(n, seed)) {
     ++out.graphs_checked;
     UniversalityReport rep;
     if (labeling_count(g) <= exhaustive_labeling_limit) {
-      rep = check_universal_exhaustive(g, seq);
+      rep = check_universal_exhaustive(g, seq, threads);
     } else {
       out.level = CertLevel::kAdversarial;
-      rep = check_universal_sampled(g, seq, 200, seed ^ 0xabcdef);
+      rep = check_universal_sampled(g, seq, 200, seed ^ 0xabcdef, threads);
       if (rep.universal) {
-        UniversalityReport adv =
-            check_universal_adversarial(g, seq, 200, seed ^ 0x123456);
+        UniversalityReport adv = check_universal_adversarial(
+            g, seq, 200, seed ^ 0x123456, threads);
         rep.labelings_checked += adv.labelings_checked;
         rep.walks_checked += adv.walks_checked;
         rep.universal = adv.universal;
@@ -132,7 +137,8 @@ bool certify_sequence(const ExplorationSequence& seq, NodeId n,
 }
 
 CertifiedUes find_certified_ues(NodeId n, std::uint64_t seed,
-                                std::uint64_t exhaustive_labeling_limit) {
+                                std::uint64_t exhaustive_labeling_limit,
+                                unsigned threads) {
   // Start well below the default length so the certificate, not the
   // safety margin, determines the final size.
   std::uint64_t len = std::max<std::uint64_t>(16, 4ULL * n * n);
@@ -140,7 +146,8 @@ CertifiedUes find_certified_ues(NodeId n, std::uint64_t seed,
     auto cand =
         std::make_shared<RandomExplorationSequence>(seed, len, n);
     Certificate cert;
-    if (certify_sequence(*cand, n, seed, cert, exhaustive_labeling_limit)) {
+    if (certify_sequence(*cand, n, seed, cert, exhaustive_labeling_limit,
+                         threads)) {
       // Materialize so the certificate refers to an immutable artifact.
       std::vector<Symbol> symbols(len);
       for (std::uint64_t i = 1; i <= len; ++i)

@@ -60,16 +60,22 @@ struct CertifiedUes {
 
 /// Smallest (by doubling) pseudorandom sequence certified universal for
 /// size n.  `exhaustive_labeling_limit` bounds the labelling space a graph
-/// may have to be checked exhaustively (default 6^6).
+/// may have to be checked exhaustively (default 6^6).  `threads` fans the
+/// per-graph universality checks out over a util::ThreadPool (0 = default
+/// resolution; 1 = serial); the certificate is thread-count invariant.
 CertifiedUes find_certified_ues(graph::NodeId n, std::uint64_t seed,
                                 std::uint64_t exhaustive_labeling_limit =
-                                    46656);
+                                    46656,
+                                unsigned threads = 0);
 
-/// Verifies an arbitrary sequence against the corpus; returns nullopt on
+/// Verifies an arbitrary sequence against the corpus; returns false on
 /// refutation (with nothing else — use check_universal_* directly for the
-/// witness).
+/// witness).  Corpus graphs are checked in order with each graph's
+/// labelling/trial space fanned out over `threads` workers, so the
+/// certificate counts are identical for any thread count.
 bool certify_sequence(const ExplorationSequence& seq, graph::NodeId n,
                       std::uint64_t seed, Certificate& out,
-                      std::uint64_t exhaustive_labeling_limit = 46656);
+                      std::uint64_t exhaustive_labeling_limit = 46656,
+                      unsigned threads = 0);
 
 }  // namespace uesr::explore

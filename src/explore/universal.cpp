@@ -1,12 +1,14 @@
 #include "explore/universal.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
 
 #include "explore/walker.h"
 #include "graph/algorithms.h"
+#include "util/parallel.h"
 
 namespace uesr::explore {
 
@@ -32,15 +34,129 @@ std::vector<std::size_t> component_need(const Graph& g) {
   return need;
 }
 
+/// Hands f a pool of resolve_threads(threads) lanes: the shared pool when
+/// it already has that size, otherwise a per-thread pool cached by size so
+/// repeated explicit-thread-count calls (certificate sweeps, tests,
+/// benches) reuse workers instead of respawning them per call (size 1
+/// spawns no threads, so `threads == 1` is a zero-overhead serial run).
+template <typename F>
+auto with_pool(unsigned threads, F&& f) {
+  const unsigned t = util::resolve_threads(threads);
+  if (t == 1) {
+    util::ThreadPool serial(1);
+    return f(serial);
+  }
+  if (util::shared_pool().size() == t) return f(util::shared_pool());
+  thread_local std::unique_ptr<util::ThreadPool> cached;
+  if (!cached || cached->size() != t)
+    cached = std::make_unique<util::ThreadPool>(t);
+  return f(*cached);
+}
+
+std::uint64_t factorial_checked(Port d) {
+  if (d > 20) throw std::overflow_error("labeling rank: degree! overflows");
+  std::uint64_t f = 1;
+  for (Port k = 2; k <= d; ++k) f *= k;
+  return f;
+}
+
+/// The d-th permutation of 0..k-1 in lexicographic order (factorial number
+/// system unranking) — how a worker seeks one vertex's digit of a labelling
+/// rank without stepping through predecessors.
+std::vector<Port> nth_permutation(Port k, std::uint64_t d) {
+  std::vector<Port> pool(k);
+  std::iota(pool.begin(), pool.end(), Port{0});
+  std::vector<Port> out;
+  out.reserve(k);
+  for (Port i = k; i > 0; --i) {
+    const std::uint64_t f = factorial_checked(static_cast<Port>(i - 1));
+    const std::uint64_t idx = d / f;
+    d %= f;
+    out.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return out;
+}
+
+/// Shared partial-report shape for all regimes: counts plus the first
+/// witness found inside the chunk (which, because every chunk enumerates
+/// its sub-range in order, is the chunk's lowest-(rank, start) failure).
+struct ReportPartial {
+  std::uint64_t labelings = 0;
+  std::uint64_t walks = 0;
+  std::optional<FailureWitness> witness;
+};
+
+bool partial_hit(const ReportPartial& p) { return p.witness.has_value(); }
+
+/// Index-order merge: counts accumulate over the prefix of chunks up to and
+/// including the first refuting one (parallel_prefix_search already
+/// truncated the list there), so the totals equal a serial scan's.
+UniversalityReport merge_partials(std::vector<ReportPartial> parts) {
+  UniversalityReport rep;
+  for (auto& p : parts) {
+    rep.labelings_checked += p.labelings;
+    rep.walks_checked += p.walks;
+    if (p.witness) rep.witness = std::move(p.witness);
+  }
+  rep.universal = !rep.witness.has_value();
+  return rep;
+}
+
+/// All start half-edges of g in (vertex, port) order — the witness order
+/// every regime pins reports to.
+std::vector<HalfEdge> all_starts(const Graph& g) {
+  std::vector<HalfEdge> starts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    for (Port p = 0; p < g.degree(v); ++p) starts.push_back({v, p});
+  return starts;
+}
+
+/// Walks every start of `labeled` in order; on the first failure records
+/// the witness in `part` and returns false.  Counts every walk performed.
+bool check_all_starts(const Graph& labeled, const ExplorationSequence& seq,
+                      const std::vector<std::size_t>& need,
+                      WalkScratch& scratch, ReportPartial& part) {
+  for (NodeId v = 0; v < labeled.num_nodes(); ++v)
+    for (Port p = 0; p < labeled.degree(v); ++p) {
+      ++part.walks;
+      if (!covers_component(labeled, {v, p}, seq, need[v], scratch)) {
+        part.witness = FailureWitness{labeled, {v, p}};
+        return false;
+      }
+    }
+  return true;
+}
+
 }  // namespace
 
-bool covers_all_starts(const Graph& g, const ExplorationSequence& seq) {
+bool covers_all_starts(const Graph& g, const ExplorationSequence& seq,
+                       unsigned threads) {
   const auto need = component_need(g);
-  WalkScratch scratch;
-  for (NodeId v = 0; v < g.num_nodes(); ++v)
-    for (Port p = 0; p < g.degree(v); ++p)
-      if (!covers_component(g, {v, p}, seq, need[v], scratch)) return false;
-  return true;
+  const auto starts = all_starts(g);
+  if (starts.empty()) return true;
+  return with_pool(threads, [&](util::ThreadPool& pool) {
+    struct Part {
+      bool ok = true;
+    };
+    const std::uint64_t chunk =
+        util::default_chunk(starts.size(), pool.size());
+    auto parts = util::parallel_prefix_search<Part>(
+        pool, starts.size(), chunk,
+        [&](const util::ChunkRange& c) {
+          Part part;
+          WalkScratch scratch;
+          for (std::uint64_t i = c.begin; i < c.end; ++i)
+            if (!covers_component(g, starts[i], seq, need[starts[i].node],
+                                  scratch)) {
+              part.ok = false;
+              break;
+            }
+          return part;
+        },
+        [](const Part& p) { return !p.ok; });
+    return parts.back().ok;
+  });
 }
 
 std::uint64_t labeling_count(const Graph& g) {
@@ -76,49 +192,98 @@ bool for_each_labeling(const Graph& g,
   }
 }
 
-UniversalityReport check_universal_exhaustive(const Graph& g,
-                                              const ExplorationSequence& seq) {
-  UniversalityReport rep;
+bool for_each_labeling_range(
+    const Graph& g, std::uint64_t rank_begin, std::uint64_t rank_end,
+    const std::function<bool(const Graph&)>& visit) {
+  if (rank_begin >= rank_end) return true;
+  const NodeId n = g.num_nodes();
+  // Seek: decompose rank_begin in the mixed radix (vertex 0 = least
+  // significant digit, digit value = lexicographic permutation index) —
+  // exactly the order the odometer in for_each_labeling advances through.
+  std::vector<std::vector<Port>> perms(n);
+  std::uint64_t r = rank_begin;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t f = factorial_checked(g.degree(v));
+    perms[v] = nth_permutation(g.degree(v), r % f);
+    r /= f;
+  }
+  if (r != 0)
+    throw std::invalid_argument(
+        "for_each_labeling_range: rank_begin >= labeling_count(g)");
+  for (std::uint64_t rank = rank_begin; rank < rank_end; ++rank) {
+    if (!visit(g.relabeled(perms))) return false;
+    NodeId v = 0;
+    while (v < n && !std::next_permutation(perms[v].begin(), perms[v].end()))
+      ++v;
+    if (v == n && rank + 1 < rank_end)
+      throw std::invalid_argument(
+          "for_each_labeling_range: rank_end > labeling_count(g)");
+  }
+  return true;
+}
+
+UniversalityReport check_universal_exhaustive_range(
+    const Graph& g, const ExplorationSequence& seq, std::uint64_t rank_begin,
+    std::uint64_t rank_end, unsigned threads) {
+  if (rank_begin > rank_end || rank_end > labeling_count(g))
+    throw std::invalid_argument(
+        "check_universal_exhaustive_range: bad rank range");
   const auto need = component_need(g);
-  WalkScratch scratch;
-  bool complete = for_each_labeling(g, [&](const Graph& labeled) {
-    ++rep.labelings_checked;
-    for (NodeId v = 0; v < labeled.num_nodes(); ++v)
-      for (Port p = 0; p < labeled.degree(v); ++p) {
-        ++rep.walks_checked;
-        if (!covers_component(labeled, {v, p}, seq, need[v], scratch)) {
-          rep.witness = FailureWitness{labeled, {v, p}};
-          return false;
-        }
-      }
-    return true;
+  const std::uint64_t items = rank_end - rank_begin;
+  return with_pool(threads, [&](util::ThreadPool& pool) {
+    const std::uint64_t chunk = util::default_chunk(items, pool.size(), 16);
+    auto parts = util::parallel_prefix_search<ReportPartial>(
+        pool, items, chunk,
+        [&](const util::ChunkRange& c) {
+          ReportPartial part;
+          WalkScratch scratch;
+          for_each_labeling_range(
+              g, rank_begin + c.begin, rank_begin + c.end,
+              [&](const Graph& labeled) {
+                ++part.labelings;
+                return check_all_starts(labeled, seq, need, scratch, part);
+              });
+          return part;
+        },
+        partial_hit);
+    return merge_partials(std::move(parts));
   });
-  rep.universal = complete;
-  return rep;
+}
+
+UniversalityReport check_universal_exhaustive(const Graph& g,
+                                              const ExplorationSequence& seq,
+                                              unsigned threads) {
+  return check_universal_exhaustive_range(g, seq, 0, labeling_count(g),
+                                          threads);
 }
 
 UniversalityReport check_universal_sampled(const Graph& g,
                                            const ExplorationSequence& seq,
                                            std::uint64_t samples,
-                                           std::uint64_t seed) {
-  UniversalityReport rep;
+                                           std::uint64_t seed,
+                                           unsigned threads) {
   const auto need = component_need(g);
-  WalkScratch scratch;
-  util::Pcg32 rng(seed);
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    Graph labeled = g.randomly_relabeled(rng);
-    ++rep.labelings_checked;
-    for (NodeId v = 0; v < labeled.num_nodes(); ++v)
-      for (Port p = 0; p < labeled.degree(v); ++p) {
-        ++rep.walks_checked;
-        if (!covers_component(labeled, {v, p}, seq, need[v], scratch)) {
-          rep.witness = FailureWitness{labeled, {v, p}};
-          return rep;
-        }
-      }
-  }
-  rep.universal = true;
-  return rep;
+  return with_pool(threads, [&](util::ThreadPool& pool) {
+    const std::uint64_t chunk = util::default_chunk(samples, pool.size());
+    auto parts = util::parallel_prefix_search<ReportPartial>(
+        pool, samples, chunk,
+        [&](const util::ChunkRange& c) {
+          ReportPartial part;
+          WalkScratch scratch;
+          for (std::uint64_t s = c.begin; s < c.end; ++s) {
+            // Trial-indexed RNG: the labelling of trial s is a pure
+            // function of (seed, s), independent of chunk geometry and
+            // thread count.
+            util::Pcg32 rng(util::counter_hash(seed, s));
+            Graph labeled = g.randomly_relabeled(rng);
+            ++part.labelings;
+            if (!check_all_starts(labeled, seq, need, scratch, part)) break;
+          }
+          return part;
+        },
+        partial_hit);
+    return merge_partials(std::move(parts));
+  });
 }
 
 namespace {
@@ -166,49 +331,51 @@ AdversaryScore adversary_score(const Graph& labeled,
 UniversalityReport check_universal_adversarial(const Graph& g,
                                                const ExplorationSequence& seq,
                                                std::uint64_t iterations,
-                                               std::uint64_t seed) {
-  UniversalityReport rep;
+                                               std::uint64_t seed,
+                                               unsigned threads) {
   const auto need = component_need(g);
-  WalkScratch scratch;
-  util::Pcg32 rng(seed);
-  constexpr int kRestarts = 4;
-  for (int restart = 0; restart < kRestarts; ++restart) {
-    Graph current = g.randomly_relabeled(rng);
-    auto score = adversary_score(current, seq, need, scratch);
-    ++rep.labelings_checked;
-    rep.walks_checked += score.walks;
-    for (std::uint64_t it = 0; it < iterations / kRestarts; ++it) {
-      if (score.worst_uncovered > 0) {
-        // Found an uncovered labelling; locate a witness start edge.
-        for (NodeId v = 0; v < current.num_nodes(); ++v)
-          for (Port p = 0; p < current.degree(v); ++p) {
-            ++rep.walks_checked;
-            if (!covers_component(current, {v, p}, seq, need[v], scratch)) {
-              rep.witness = FailureWitness{current, {v, p}};
-              return rep;
+  constexpr std::uint64_t kRestarts = 4;
+  const std::uint64_t budget = iterations / kRestarts;
+  return with_pool(threads, [&](util::ThreadPool& pool) {
+    auto parts = util::parallel_prefix_search<ReportPartial>(
+        pool, kRestarts, 1,
+        [&](const util::ChunkRange& c) {
+          const std::uint64_t restart = c.index;
+          ReportPartial part;
+          WalkScratch scratch;
+          util::Pcg32 rng(util::counter_hash(seed, restart));
+          Graph current = g.randomly_relabeled(rng);
+          auto score = adversary_score(current, seq, need, scratch);
+          ++part.labelings;
+          part.walks += score.walks;
+          for (std::uint64_t it = 0; it < budget; ++it) {
+            if (score.worst_uncovered > 0) {
+              // Found an uncovered labelling; locate a witness start edge.
+              if (!check_all_starts(current, seq, need, scratch, part))
+                return part;
+            }
+            // Propose: re-randomize the permutation of one random vertex.
+            NodeId v = rng.next_below(g.num_nodes());
+            std::vector<std::vector<Port>> perms(current.num_nodes());
+            for (NodeId u = 0; u < current.num_nodes(); ++u) {
+              perms[u].resize(current.degree(u));
+              std::iota(perms[u].begin(), perms[u].end(), Port{0});
+            }
+            std::shuffle(perms[v].begin(), perms[v].end(), rng);
+            Graph proposal = current.relabeled(perms);
+            auto pscore = adversary_score(proposal, seq, need, scratch);
+            ++part.labelings;
+            part.walks += pscore.walks;
+            if (pscore.key() >= score.key()) {  // plateau moves keep search
+              current = std::move(proposal);    // mobile
+              score = pscore;
             }
           }
-      }
-      // Propose: re-randomize the permutation of one random vertex.
-      NodeId v = rng.next_below(g.num_nodes());
-      std::vector<std::vector<Port>> perms(current.num_nodes());
-      for (NodeId u = 0; u < current.num_nodes(); ++u) {
-        perms[u].resize(current.degree(u));
-        std::iota(perms[u].begin(), perms[u].end(), Port{0});
-      }
-      std::shuffle(perms[v].begin(), perms[v].end(), rng);
-      Graph proposal = current.relabeled(perms);
-      auto pscore = adversary_score(proposal, seq, need, scratch);
-      ++rep.labelings_checked;
-      rep.walks_checked += pscore.walks;
-      if (pscore.key() >= score.key()) {  // plateau moves keep search mobile
-        current = std::move(proposal);
-        score = pscore;
-      }
-    }
-  }
-  rep.universal = true;
-  return rep;
+          return part;
+        },
+        partial_hit);
+    return merge_partials(std::move(parts));
+  });
 }
 
 }  // namespace uesr::explore

@@ -11,6 +11,23 @@
 //    maximize the number of unvisited vertices (a much stronger refuter
 //    than uniform sampling in practice).
 //
+// All three regimes fan out over a util::ThreadPool and are *thread-count
+// invariant*: the report (counts, universal flag, witness identity) is
+// bit-identical for any `threads` value.  The determinism contract:
+//
+//  * The labelling space is ordered by its mixed-radix rank (vertex 0's
+//    permutation is the least significant digit, permutations in
+//    lexicographic order — exactly the order for_each_labeling visits).
+//    Exhaustive workers seek directly to a rank sub-range; partial reports
+//    merge in rank order.
+//  * Sampled trial s relabels with Pcg32(counter_hash(seed, s)); the
+//    adversarial restart r hill-climbs with Pcg32(counter_hash(seed, r)).
+//    A trial's outcome therefore depends only on (seed, trial index),
+//    never on scheduling or on other trials.
+//  * The reported witness is pinned to the lowest (labelling rank | trial
+//    index, start edge) failure; counts cover exactly the prefix of the
+//    search space up to that witness, as a serial scan would have.
+//
 // A *certificate* for a sequence combines exhaustive checks over the small
 // cubic catalogue — including the multigraphs with loops and parallel edges
 // that degree reduction actually produces — with sampled/adversarial checks
@@ -28,14 +45,27 @@
 namespace uesr::explore {
 
 /// True if the walk covers the component of every start half-edge of g
-/// (under g's own labelling).
-bool covers_all_starts(const graph::Graph& g, const ExplorationSequence& seq);
+/// (under g's own labelling).  Starts fan out over `threads` workers
+/// (0 = util::resolve_threads default; 1 = serial).
+bool covers_all_starts(const graph::Graph& g, const ExplorationSequence& seq,
+                       unsigned threads = 0);
 
 /// Enumerates every port labelling of g (the product of per-vertex port
 /// permutations) and calls `visit`; stops early when visit returns false.
 /// Returns true iff the enumeration ran to completion.
 bool for_each_labeling(const graph::Graph& g,
                        const std::function<bool(const graph::Graph&)>& visit);
+
+/// Sub-range variant: visits only the labellings with mixed-radix rank in
+/// [rank_begin, rank_end), in rank order, seeking directly to rank_begin
+/// (no stepping through the prefix).  rank_end must not exceed
+/// labeling_count(g).  for_each_labeling(g, v) ==
+/// for_each_labeling_range(g, 0, labeling_count(g), v) visit-for-visit;
+/// this is what lets exhaustive verification shard its enumeration across
+/// threads — and across machines.
+bool for_each_labeling_range(
+    const graph::Graph& g, std::uint64_t rank_begin, std::uint64_t rank_end,
+    const std::function<bool(const graph::Graph&)>& visit);
 
 /// Number of labellings of g (Π_v deg(v)!); throws on overflow.
 std::uint64_t labeling_count(const graph::Graph& g);
@@ -56,22 +86,40 @@ struct UniversalityReport {
   std::optional<FailureWitness> witness;
 };
 
-/// Exhaustive over all labellings and all start edges of g.
+/// Exhaustive over all labellings and all start edges of g.  The witness,
+/// when one exists, is the lowest (labelling rank, start edge) failure and
+/// the counts cover exactly the ranks up to it — identical for any thread
+/// count, and identical to the serial scan.
 UniversalityReport check_universal_exhaustive(const graph::Graph& g,
-                                              const ExplorationSequence& seq);
+                                              const ExplorationSequence& seq,
+                                              unsigned threads = 0);
 
-/// `samples` random labellings, all start edges each.
+/// Shard of the exhaustive check: only labelling ranks in
+/// [rank_begin, rank_end).  Reports from a partition of [0, total) merged
+/// in rank order (sum counts; first witness wins) reproduce the full
+/// check_universal_exhaustive report — the cross-machine sharding story.
+UniversalityReport check_universal_exhaustive_range(
+    const graph::Graph& g, const ExplorationSequence& seq,
+    std::uint64_t rank_begin, std::uint64_t rank_end, unsigned threads = 0);
+
+/// `samples` random labellings, all start edges each.  Trial s draws its
+/// labelling from Pcg32(counter_hash(seed, s)), so any sub-range of trials
+/// is reproducible in isolation and the report is thread-count invariant.
 UniversalityReport check_universal_sampled(const graph::Graph& g,
                                            const ExplorationSequence& seq,
                                            std::uint64_t samples,
-                                           std::uint64_t seed);
+                                           std::uint64_t seed,
+                                           unsigned threads = 0);
 
 /// Stochastic hill-climb over labellings: proposes single-vertex port
 /// permutation changes and keeps those that worsen coverage (more unvisited
-/// vertices; ties broken by later cover time).  Several restarts.
+/// vertices; ties broken by later cover time).  Restarts run in parallel,
+/// each on Pcg32(counter_hash(seed, restart)); the merge is a deterministic
+/// best-of in restart order (first refuting restart supplies the witness).
 UniversalityReport check_universal_adversarial(const graph::Graph& g,
                                                const ExplorationSequence& seq,
                                                std::uint64_t iterations,
-                                               std::uint64_t seed);
+                                               std::uint64_t seed,
+                                               unsigned threads = 0);
 
 }  // namespace uesr::explore

@@ -1,0 +1,180 @@
+// Deterministic parallelism primitives.
+//
+// The verification workloads (universality checks, certificates, experiment
+// drivers) are embarrassingly parallel — independent labellings × start
+// edges × trials — but their *reports* must not depend on how the work was
+// scheduled.  The contract of everything in this header is therefore:
+//
+//   bit-identical results for any thread count.
+//
+// Achieved by three rules:
+//   1. Work is split into *indexed chunks* of a range [0, n).  Chunks are
+//      claimed by workers in any order via an atomic counter.
+//   2. Per-chunk partial results are merged strictly in chunk-index order
+//      on the calling thread (parallel_reduce / parallel_prefix_search), so
+//      floating-point sums, sample orders, and witness selection are the
+//      same as a serial left-to-right evaluation.
+//   3. Randomized chunk bodies must derive their RNG from the chunk/trial
+//      index alone — e.g. Pcg32(counter_hash(seed, index)) — never from a
+//      shared stream, so sampled/adversarial regimes are thread-count
+//      invariant (see rng.h).
+//
+// Early exit (searching for a counterexample) is deterministic too:
+// parallel_prefix_search prunes chunks *above* the lowest hit so far, but
+// every chunk below it still runs to completion, and merged output stops at
+// the first hit in index order — exactly what a serial scan that stops at
+// the first hit would have produced.
+//
+// A ThreadPool of size 1 never spawns a thread and runs every job inline on
+// the caller: threads == 1 reproduces serial behaviour exactly, overhead
+// included.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace uesr::util {
+
+/// Sanity ceiling on worker lanes (spawning more OS threads than this is
+/// never a sane request for these workloads; callers clamp rather than
+/// crash mid-spawn).
+inline constexpr unsigned kMaxThreads = 4096;
+
+/// Number of worker lanes to use: `requested` when nonzero, else the
+/// UESR_THREADS environment variable when set to a positive integer, else
+/// std::thread::hardware_concurrency() (minimum 1).  Results are clamped
+/// to kMaxThreads.
+unsigned resolve_threads(unsigned requested = 0);
+
+/// Small fixed thread pool.  The calling thread participates as lane 0, so
+/// a pool of size k owns k-1 OS threads and a pool of size 1 owns none.
+/// run() dispatched from inside one of the pool's own jobs degrades to an
+/// inline serial call instead of deadlocking (results are identical by the
+/// determinism contract; only the parallelism is lost).
+class ThreadPool {
+ public:
+  /// threads == 0 resolves via resolve_threads().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return lanes_; }
+
+  /// Executes fn(lane) once per lane (0 .. size()-1), blocking until every
+  /// lane returns.  The first exception thrown by any lane is rethrown.
+  /// Safe to call from multiple application threads: concurrent dispatches
+  /// serialize (one job drains before the next starts), so sharing
+  /// shared_pool() across threads degrades throughput, never correctness.
+  void run(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_main(unsigned lane);
+
+  unsigned lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_m_;  ///< serializes external run() callers
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// Process-wide pool sized resolve_threads(0), created on first use.  The
+/// verification layer uses it when the caller does not request an explicit
+/// thread count, so repeated checks do not respawn threads.
+ThreadPool& shared_pool();
+
+/// One indexed chunk of a range [0, n): item indices [begin, end).
+struct ChunkRange {
+  std::uint64_t index = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Number of chunks a range of n items splits into at the given chunk size.
+inline std::uint64_t chunk_count(std::uint64_t n, std::uint64_t chunk) {
+  return n == 0 ? 0 : (n + chunk - 1) / chunk;
+}
+
+/// A chunk size that aims at ~8 chunks per lane (load balance) without
+/// dropping below `min_chunk` items (amortizing per-chunk setup).  Chunk
+/// geometry never affects merged results — only scheduling granularity.
+std::uint64_t default_chunk(std::uint64_t n, unsigned threads,
+                            std::uint64_t min_chunk = 1);
+
+/// Runs body over every chunk of [0, n), any order, no result.  Use only
+/// when the body's effects are order-independent (e.g. disjoint writes).
+void parallel_for(ThreadPool& pool, std::uint64_t n, std::uint64_t chunk,
+                  const std::function<void(const ChunkRange&)>& body);
+
+/// Deterministic early-exit fan-out.  map(ChunkRange) -> R is evaluated per
+/// chunk on any lane; hit(R) marks a chunk that found what the caller is
+/// searching for.  Returns the results of chunks 0..k in index order, where
+/// k is the lowest hit chunk (all chunks when none hits).  Chunks above the
+/// lowest known hit are pruned when they have not started; results computed
+/// above the winning chunk are discarded.  The output is identical to a
+/// serial left-to-right scan stopping at its first hit, for any pool size.
+template <typename R, typename Map, typename Hit>
+std::vector<R> parallel_prefix_search(ThreadPool& pool, std::uint64_t n,
+                                      std::uint64_t chunk, Map&& map,
+                                      Hit&& hit) {
+  const std::uint64_t chunks = chunk_count(n, chunk);
+  std::vector<std::optional<R>> slots(chunks);
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> bound{chunks};  // lowest chunk index known to hit
+  pool.run([&](unsigned) {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks) return;
+      // Prune strictly above the bound: the bound only ever decreases, and
+      // only to indices of actual hits, so every chunk at or below the
+      // final bound is guaranteed to run.
+      if (i > bound.load(std::memory_order_acquire)) continue;
+      const ChunkRange r{i, i * chunk, std::min(n, (i + 1) * chunk)};
+      R part = map(r);
+      if (hit(static_cast<const R&>(part))) {
+        std::uint64_t b = bound.load(std::memory_order_relaxed);
+        while (i < b &&
+               !bound.compare_exchange_weak(b, i, std::memory_order_release)) {
+        }
+      }
+      slots[i] = std::move(part);
+    }
+  });
+  std::vector<R> out;
+  out.reserve(chunks);
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    out.push_back(std::move(*slots[i]));
+    if (hit(static_cast<const R&>(out.back()))) break;
+  }
+  return out;
+}
+
+/// Deterministic ordered reduction: acc = combine(acc, map(chunk_i)) folded
+/// in chunk-index order on the calling thread.  Bit-identical for any pool
+/// size (floating point included).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::uint64_t n, std::uint64_t chunk,
+                  T init, Map&& map, Combine&& combine) {
+  auto parts = parallel_prefix_search<T>(pool, n, chunk,
+                                         std::forward<Map>(map),
+                                         [](const T&) { return false; });
+  T acc = std::move(init);
+  for (auto& p : parts) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace uesr::util

@@ -36,6 +36,11 @@ class OnlineStats {
 class Samples {
  public:
   void add(double x) { values_.push_back(x); }
+  /// Appends other's samples in their stored order — the deterministic
+  /// chunk-order merge the parallel experiment drivers rely on.
+  void add_all(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
   std::size_t count() const { return values_.size(); }
   double mean() const;
   double stddev() const;

@@ -1,0 +1,225 @@
+// Thread-count invariance of the verification layer (the determinism
+// contract of DESIGN.md §"Parallel verification harness"): every
+// check_universal_* report — counts, universal flag, witness identity — is
+// identical at 1, 2, and 8 threads, sampled/adversarial outcomes depend
+// only on (seed, trial index), and rank-range shards merge back into the
+// full exhaustive report.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "explore/certified.h"
+#include "explore/universal.h"
+#include "explore/walker.h"
+#include "graph/catalog.h"
+#include "graph/generators.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace uesr::explore {
+namespace {
+
+using graph::Graph;
+
+const unsigned kThreadCounts[] = {1, 2, 8};
+
+void expect_same_report(const UniversalityReport& a,
+                        const UniversalityReport& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.universal, b.universal) << what;
+  EXPECT_EQ(a.labelings_checked, b.labelings_checked) << what;
+  EXPECT_EQ(a.walks_checked, b.walks_checked) << what;
+  ASSERT_EQ(a.witness.has_value(), b.witness.has_value()) << what;
+  if (a.witness.has_value()) {
+    EXPECT_EQ(a.witness->labeled, b.witness->labeled) << what;
+    EXPECT_EQ(a.witness->start, b.witness->start) << what;
+  }
+}
+
+std::string rotation_key(const Graph& g) {
+  std::string key;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v)
+    for (graph::Port p = 0; p < g.degree(v); ++p) {
+      auto far = g.rotate(v, p);
+      key += std::to_string(far.node) + "." + std::to_string(far.port) + ";";
+    }
+  return key;
+}
+
+TEST(LabelingRange, FullRangeMatchesOdometerEnumeration) {
+  for (const Graph& g : {graph::cycle(3), graph::star(3), graph::k4()}) {
+    std::vector<std::string> odometer, ranged;
+    for_each_labeling(g, [&](const Graph& l) {
+      odometer.push_back(rotation_key(l));
+      return true;
+    });
+    for_each_labeling_range(g, 0, labeling_count(g), [&](const Graph& l) {
+      ranged.push_back(rotation_key(l));
+      return true;
+    });
+    EXPECT_EQ(odometer, ranged);
+  }
+}
+
+TEST(LabelingRange, SeekLandsMidEnumeration) {
+  const Graph g = graph::k4();
+  const std::uint64_t total = labeling_count(g);
+  std::vector<std::string> all;
+  for_each_labeling(g, [&](const Graph& l) {
+    all.push_back(rotation_key(l));
+    return true;
+  });
+  // A shard seeked into the middle sees exactly that slice, in order.
+  const std::uint64_t lo = 517, hi = 802;
+  std::vector<std::string> shard;
+  for_each_labeling_range(g, lo, hi, [&](const Graph& l) {
+    shard.push_back(rotation_key(l));
+    return true;
+  });
+  ASSERT_EQ(shard.size(), hi - lo);
+  for (std::uint64_t i = lo; i < hi; ++i) EXPECT_EQ(shard[i - lo], all[i]);
+  // And a partition of [0, total) concatenates back to the whole space.
+  std::vector<std::string> glued;
+  for (std::uint64_t cut = 0; cut < total;) {
+    const std::uint64_t next = std::min<std::uint64_t>(total, cut + 311);
+    for_each_labeling_range(g, cut, next, [&](const Graph& l) {
+      glued.push_back(rotation_key(l));
+      return true;
+    });
+    cut = next;
+  }
+  EXPECT_EQ(glued, all);
+}
+
+TEST(LabelingRange, RejectsOutOfRangeRanks) {
+  const Graph g = graph::cycle(3);  // 8 labellings
+  EXPECT_THROW(
+      for_each_labeling_range(g, 8, 9, [](const Graph&) { return true; }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      for_each_labeling_range(g, 5, 9, [](const Graph&) { return true; }),
+      std::invalid_argument);
+}
+
+TEST(ThreadInvariance, ExhaustiveAcceptingRun) {
+  RandomExplorationSequence good(21, 4000, 4);
+  const auto base = check_universal_exhaustive(graph::k4(), good, 1);
+  EXPECT_TRUE(base.universal);
+  EXPECT_EQ(base.labelings_checked, 1296u);
+  EXPECT_EQ(base.walks_checked, 1296u * 12u);
+  for (unsigned t : kThreadCounts)
+    expect_same_report(base, check_universal_exhaustive(graph::k4(), good, t),
+                       "exhaustive good t=" + std::to_string(t));
+}
+
+TEST(ThreadInvariance, ExhaustiveWitnessIdentity) {
+  FixedExplorationSequence bad({1, 1}, 4, "too-short");
+  const auto base = check_universal_exhaustive(graph::k4(), bad, 1);
+  ASSERT_TRUE(base.witness.has_value());
+  EXPECT_FALSE(
+      covers_component(base.witness->labeled, base.witness->start, bad));
+  for (unsigned t : kThreadCounts)
+    expect_same_report(base, check_universal_exhaustive(graph::k4(), bad, t),
+                       "exhaustive witness t=" + std::to_string(t));
+}
+
+TEST(ThreadInvariance, ExhaustiveRangeShardsMergeToFullReport) {
+  RandomExplorationSequence good(21, 4000, 4);
+  const Graph g = graph::k4();
+  const std::uint64_t total = labeling_count(g);
+  const auto full = check_universal_exhaustive(g, good, 2);
+  UniversalityReport merged;
+  merged.universal = true;
+  for (std::uint64_t cut = 0; cut < total;) {
+    const std::uint64_t next = std::min<std::uint64_t>(total, cut + total / 4);
+    auto shard = check_universal_exhaustive_range(g, good, cut, next, 2);
+    merged.labelings_checked += shard.labelings_checked;
+    merged.walks_checked += shard.walks_checked;
+    if (!shard.universal && merged.universal) {
+      merged.universal = false;
+      merged.witness = shard.witness;
+    }
+    cut = next;
+  }
+  expect_same_report(full, merged, "shard merge");
+}
+
+TEST(ThreadInvariance, SampledReports) {
+  RandomExplorationSequence good(21, 4000, 4);
+  FixedExplorationSequence bad({1, 1}, 4, "too-short");
+  const auto base_good = check_universal_sampled(graph::k4(), good, 40, 9, 1);
+  const auto base_bad = check_universal_sampled(graph::k4(), bad, 40, 9, 1);
+  EXPECT_TRUE(base_good.universal);
+  ASSERT_TRUE(base_bad.witness.has_value());
+  for (unsigned t : kThreadCounts) {
+    expect_same_report(base_good,
+                       check_universal_sampled(graph::k4(), good, 40, 9, t),
+                       "sampled good t=" + std::to_string(t));
+    expect_same_report(base_bad,
+                       check_universal_sampled(graph::k4(), bad, 40, 9, t),
+                       "sampled bad t=" + std::to_string(t));
+  }
+}
+
+TEST(ThreadInvariance, SampledTrialsDependOnlyOnSeedAndIndex) {
+  // Every labelling of K4 defeats a length-2 sequence, so the witness must
+  // come from trial 0 — and trial 0's labelling is by contract the
+  // relabelling drawn from Pcg32(counter_hash(seed, 0)).
+  FixedExplorationSequence bad({1, 1}, 4, "too-short");
+  const std::uint64_t seed = 1234;
+  const auto rep = check_universal_sampled(graph::k4(), bad, 25, seed, 8);
+  ASSERT_TRUE(rep.witness.has_value());
+  util::Pcg32 rng(util::counter_hash(seed, 0));
+  EXPECT_EQ(rep.witness->labeled, graph::k4().randomly_relabeled(rng));
+  // Growing the trial budget must not move an existing witness: outcomes
+  // are per-trial, so the first refuting trial is unchanged.
+  expect_same_report(rep,
+                     check_universal_sampled(graph::k4(), bad, 200, seed, 3),
+                     "sampled prefix stability");
+}
+
+TEST(ThreadInvariance, AdversarialReports) {
+  RandomExplorationSequence strong(3, 6000, 6);
+  FixedExplorationSequence weak({1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2}, 6,
+                                "alternating");
+  const Graph prism = graph::prism(3);
+  const auto base_strong = check_universal_adversarial(prism, strong, 40, 11, 1);
+  const auto base_weak = check_universal_adversarial(prism, weak, 60, 7, 1);
+  if (base_weak.witness.has_value()) {
+    EXPECT_FALSE(covers_component(base_weak.witness->labeled,
+                                  base_weak.witness->start, weak));
+  }
+  for (unsigned t : kThreadCounts) {
+    expect_same_report(base_strong,
+                       check_universal_adversarial(prism, strong, 40, 11, t),
+                       "adversarial strong t=" + std::to_string(t));
+    expect_same_report(base_weak,
+                       check_universal_adversarial(prism, weak, 60, 7, t),
+                       "adversarial weak t=" + std::to_string(t));
+  }
+}
+
+TEST(ThreadInvariance, CoversAllStarts) {
+  RandomExplorationSequence good(21, 4000, 4);
+  FixedExplorationSequence bad({1, 1}, 4, "too-short");
+  for (unsigned t : kThreadCounts) {
+    EXPECT_TRUE(covers_all_starts(graph::k4(), good, t)) << t;
+    EXPECT_FALSE(covers_all_starts(graph::k4(), bad, t)) << t;
+  }
+}
+
+TEST(ThreadInvariance, CertificateCountsAndOutcome) {
+  auto seq = standard_ues(4);
+  Certificate serial, parallel;
+  const bool ok1 = certify_sequence(*seq, 4, 7, serial, 46656, 1);
+  const bool ok8 = certify_sequence(*seq, 4, 7, parallel, 46656, 8);
+  EXPECT_EQ(ok1, ok8);
+  EXPECT_EQ(serial.level, parallel.level);
+  EXPECT_EQ(serial.graphs_checked, parallel.graphs_checked);
+  EXPECT_EQ(serial.labelings_checked, parallel.labelings_checked);
+  EXPECT_EQ(serial.walks_checked, parallel.walks_checked);
+}
+
+}  // namespace
+}  // namespace uesr::explore

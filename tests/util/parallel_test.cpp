@@ -1,0 +1,201 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace uesr::util {
+namespace {
+
+TEST(ResolveThreads, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+}
+
+TEST(ResolveThreads, AbsurdRequestsClampInsteadOfSpawning) {
+  EXPECT_EQ(resolve_threads(kMaxThreads + 5), kMaxThreads);
+  EXPECT_EQ(resolve_threads(~0u), kMaxThreads);  // e.g. a wrapped -1
+  ASSERT_EQ(setenv("UESR_THREADS", "99999999", 1), 0);
+  EXPECT_EQ(resolve_threads(0), kMaxThreads);
+  ASSERT_EQ(unsetenv("UESR_THREADS"), 0);
+}
+
+TEST(ResolveThreads, EnvFallbackThenHardware) {
+  ASSERT_EQ(setenv("UESR_THREADS", "5", 1), 0);
+  EXPECT_EQ(resolve_threads(0), 5u);
+  EXPECT_EQ(resolve_threads(2), 2u);  // explicit still wins
+  ASSERT_EQ(setenv("UESR_THREADS", "junk", 1), 0);
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(resolve_threads(0), hw > 0 ? hw : 1u);
+  ASSERT_EQ(unsetenv("UESR_THREADS"), 0);
+  EXPECT_EQ(resolve_threads(0), hw > 0 ? hw : 1u);
+}
+
+TEST(ThreadPool, RunsEveryLaneOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::mutex m;
+  std::multiset<unsigned> lanes;
+  pool.run([&](unsigned lane) {
+    std::lock_guard<std::mutex> lock(m);
+    lanes.insert(lane);
+  });
+  EXPECT_EQ(lanes, (std::multiset<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, SizeOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.run([&](unsigned lane) {
+    EXPECT_EQ(lane, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run([](unsigned lane) {
+        if (lane == 1) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> ran{0};
+  pool.run([&](unsigned) { ++ran; });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, NestedRunDegradesToInlineInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.run([&](unsigned) {
+    pool.run([&](unsigned) { ++inner; });  // must not hang
+  });
+  // Each outer lane ran the nested job inline once (as its lane 0).
+  EXPECT_EQ(inner.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::uint64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, n, 7, [&](const ChunkRange& c) {
+    EXPECT_EQ(c.begin, c.index * 7);
+    for (std::uint64_t i = c.begin; i < c.end; ++i) ++hits[i];
+  });
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 0, 8, [&](const ChunkRange&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+/// The determinism pin: a floating-point ordered reduction is bitwise
+/// identical for every pool size (and to the serial left fold).
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  const std::uint64_t n = 5000;
+  auto value = [](std::uint64_t i) {
+    // Irregular magnitudes so summation order matters in FP.
+    return static_cast<double>(counter_hash(42, i) % 1000003) * 1e-7 +
+           (i % 17) * 1e3;
+  };
+  double serial = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) serial += value(i);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const double got = parallel_reduce<double>(
+        pool, n, 64, 0.0,
+        [&](const ChunkRange& c) {
+          double acc = 0.0;
+          for (std::uint64_t i = c.begin; i < c.end; ++i) acc += value(i);
+          return acc;
+        },
+        [](double acc, double part) { return acc + part; });
+    // Same chunking => same partials => same merge order: bit-identical.
+    ThreadPool one(1);
+    const double chunked_serial = parallel_reduce<double>(
+        one, n, 64, 0.0,
+        [&](const ChunkRange& c) {
+          double acc = 0.0;
+          for (std::uint64_t i = c.begin; i < c.end; ++i) acc += value(i);
+          return acc;
+        },
+        [](double acc, double part) { return acc + part; });
+    EXPECT_EQ(got, chunked_serial) << "threads=" << threads;
+    EXPECT_NEAR(got, serial, 1e-6);
+  }
+}
+
+TEST(ParallelPrefixSearch, ReturnsPrefixUpToFirstHit) {
+  struct Part {
+    std::uint64_t first = 0;
+    bool hit = false;
+  };
+  const std::uint64_t n = 503;
+  const std::uint64_t hit_at = 317;  // item index of the planted hit
+  for (unsigned threads : {1u, 2u, 8u}) {
+    for (std::uint64_t chunk : {1ull, 7ull, 64ull, 503ull}) {
+      ThreadPool pool(threads);
+      auto parts = parallel_prefix_search<Part>(
+          pool, n, chunk,
+          [&](const ChunkRange& c) {
+            Part p{c.begin, false};
+            for (std::uint64_t i = c.begin; i < c.end; ++i)
+              if (i >= hit_at) {
+                p.hit = true;
+                break;
+              }
+            return p;
+          },
+          [](const Part& p) { return p.hit; });
+      // Exactly the chunks up to and including the one holding hit_at.
+      ASSERT_EQ(parts.size(), hit_at / chunk + 1)
+          << "threads=" << threads << " chunk=" << chunk;
+      for (std::size_t i = 0; i + 1 < parts.size(); ++i)
+        EXPECT_FALSE(parts[i].hit);
+      EXPECT_TRUE(parts.back().hit);
+      EXPECT_EQ(parts.back().first, (hit_at / chunk) * chunk);
+    }
+  }
+}
+
+TEST(ParallelPrefixSearch, NoHitReturnsEveryChunkInOrder) {
+  ThreadPool pool(4);
+  auto parts = parallel_prefix_search<std::uint64_t>(
+      pool, 100, 9, [](const ChunkRange& c) { return c.index; },
+      [](const std::uint64_t&) { return false; });
+  ASSERT_EQ(parts.size(), chunk_count(100, 9));
+  for (std::uint64_t i = 0; i < parts.size(); ++i) EXPECT_EQ(parts[i], i);
+}
+
+TEST(DefaultChunk, RespectsFloorAndCoversRange) {
+  EXPECT_GE(default_chunk(10, 4, 16), 16u);
+  EXPECT_EQ(default_chunk(0, 4), 1u);
+  // Large n: ~8 chunks per lane.
+  const std::uint64_t c = default_chunk(1 << 20, 4);
+  EXPECT_GE(chunk_count(1 << 20, c), 16u);
+  EXPECT_LE(chunk_count(1 << 20, c), 64u);
+}
+
+TEST(SharedPool, IsASingletonWithResolvedSize) {
+  ThreadPool& a = shared_pool();
+  ThreadPool& b = shared_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), resolve_threads(0));
+}
+
+}  // namespace
+}  // namespace uesr::util
