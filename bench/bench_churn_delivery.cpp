@@ -1,0 +1,86 @@
+// E11 (dynamic topology): delivery and certification while the network
+// changes — the "ad hoc" of the paper's title made real.
+//
+// Shape expected: the UES router, restarted per epoch, never contradicts
+// ground truth (err == 0 on every row): every attempt ends in a delivery
+// or a certified failure that is exact for the topology it completed
+// against.  Flooding loses its certificate under churn and starts missing
+// pairs (links appear behind the wave); the TTL'd random walk terminates
+// on every schedule — including ones that isolate the source outright
+// (the livelock fix) — but misses more; greedy forwarding exists only on
+// the mobility rows and dies in voids.
+//
+// Trials fan out over the shared threads knob via
+// baselines::churn_experiment, whose cells are bit-identical for any
+// --threads value (pinned by the ThreadInvariance churn tests); the `s`
+// column is the only thing a bigger machine moves.
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E11) — expected shape lives there.
+#include "bench_common.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "baselines/churn.h"
+#include "graph/churn.h"
+#include "graph/generators.h"
+#include "graph/geometric.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace uesr;
+  const unsigned threads = bench::threads_knob(argc, argv);
+  bench::banner("E11 / dynamic topology — delivery under churn and mobility",
+                "paper §1: ad hoc networks change topology frequently; Route "
+                "restarted per epoch still delivers or certifies failure, "
+                "exactly, on the topology each attempt completes against");
+  bench::report_threads(threads);
+
+  std::vector<std::unique_ptr<graph::Scenario>> scenarios;
+  scenarios.push_back(std::make_unique<graph::LinkFlapScenario>(
+      graph::connected_gnp(36, 0.14, 19), /*flaps_per_epoch=*/3, 101));
+  scenarios.push_back(std::make_unique<graph::LinkFlapScenario>(
+      graph::unit_disk_2d(40, 0.24, 23).graph, /*flaps_per_epoch=*/4, 103));
+  scenarios.push_back(std::make_unique<graph::NodeChurnScenario>(
+      graph::connected_gnp(36, 0.16, 29), /*p_leave=*/0.06, /*p_join=*/0.45,
+      107));
+  // Harsh churn: sources regularly end up isolated — the schedule the
+  // random-walk livelock fix is exercised under.
+  scenarios.push_back(std::make_unique<graph::NodeChurnScenario>(
+      graph::connected_gnp(30, 0.2, 31), /*p_leave=*/0.3, /*p_join=*/0.5,
+      109));
+  scenarios.push_back(std::make_unique<graph::WaypointScenario>(
+      /*n=*/36, /*dim=*/2, /*radius=*/0.26, /*speed=*/0.05, 113));
+  scenarios.push_back(std::make_unique<graph::WaypointScenario>(
+      /*n=*/36, /*dim=*/3, /*radius=*/0.38, /*speed=*/0.05, 127));
+
+  util::Table t({"scenario", "pairs", "ues ok", "ues cert-fail", "ues err",
+                 "restarts", "rw ok", "flood ok", "greedy ok", "s"});
+  const int kPairs = 40;
+  const std::uint64_t kPeriod = 48;   // transmissions per epoch
+  const std::uint64_t kMaxEpochs = 24;
+  for (const auto& scenario : scenarios) {
+    const auto n = static_cast<double>(scenario->num_nodes());
+    const auto ttl = static_cast<std::uint64_t>(10.0 * std::pow(n, 1.5));
+    bench::Timer timer;
+    const baselines::ChurnCell cell = baselines::churn_experiment(
+        *scenario, kPairs, kPeriod, kMaxEpochs, ttl, /*seed=*/123, threads);
+    t.row()
+        .cell(scenario->name())
+        .cell(cell.pairs)
+        .cell(cell.ues_delivered)
+        .cell(cell.ues_certified)
+        .cell(cell.ues_errors)
+        .cell(cell.ues_restarts)
+        .cell(cell.rw_delivered)
+        .cell(cell.flood_delivered)
+        .cell(cell.has_greedy ? std::to_string(cell.greedy_delivered)
+                              : std::string("n/a"))
+        .cell(timer.seconds(), 3);
+  }
+  t.print(std::cout);
+  std::cout << "\nues ok + ues cert-fail == pairs and ues err == 0 on every "
+               "row: each attempt ends in delivery or an epoch-exact "
+               "certificate; every baseline terminated on every schedule\n";
+  return 0;
+}

@@ -16,8 +16,13 @@ RandomWalkSession::RandomWalkSession(const graph::Graph& g, graph::NodeId s,
 void RandomWalkSession::step() {
   if (delivered_ || exhausted()) return;
   graph::Port deg = g_->degree(current_);
-  if (deg == 0) {  // isolated node: the walk can never move
-    transmissions_ = ttl_ == 0 ? transmissions_ + 1 : ttl_;
+  if (deg == 0) {
+    // Isolated node: no port to transmit on, so the walk can never move.
+    // Exhaust immediately — with ttl == 0 the session would otherwise never
+    // satisfy exhausted() and RandomWalkRouter::route would spin forever,
+    // and charging phantom transmissions would misreport a frame that was
+    // never sent.
+    stranded_ = true;
     return;
   }
   graph::Port p = static_cast<graph::Port>(rng_.next_below(deg));

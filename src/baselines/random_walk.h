@@ -22,14 +22,18 @@ namespace uesr::baselines {
 class RandomWalkSession final : public core::TokenWalker {
  public:
   /// Walks from s until it reaches t or `ttl` transmissions elapse
-  /// (ttl == 0 means unlimited — never exhausted).
+  /// (ttl == 0 means unlimited — never exhausted by TTL).  A walk stranded
+  /// on a degree-0 node exhausts immediately, whatever the TTL: there is no
+  /// port to transmit on, so no transmission is charged and (like any other
+  /// exhaustion) nothing about t is certified.
   RandomWalkSession(const graph::Graph& g, graph::NodeId s, graph::NodeId t,
                     std::uint64_t ttl, std::uint64_t seed);
 
   void step() override;
   bool delivered() const override { return delivered_; }
   bool exhausted() const override {
-    return ttl_ != 0 && transmissions_ >= ttl_ && !delivered_;
+    return !delivered_ &&
+           (stranded_ || (ttl_ != 0 && transmissions_ >= ttl_));
   }
   std::uint64_t transmissions() const override { return transmissions_; }
 
@@ -40,6 +44,7 @@ class RandomWalkSession final : public core::TokenWalker {
   graph::NodeId target_;
   graph::NodeId current_;
   bool delivered_;
+  bool stranded_ = false;  ///< parked on a degree-0 node: can never move
   std::uint64_t ttl_;
   std::uint64_t transmissions_ = 0;
   util::Pcg32 rng_;

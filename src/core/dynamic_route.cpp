@@ -1,0 +1,54 @@
+#include "core/dynamic_route.h"
+
+#include <stdexcept>
+
+namespace uesr::core {
+
+DynamicRouteSession::DynamicRouteSession(
+    const net::DynamicTransport& transport, graph::NodeId s, graph::NodeId t,
+    DynamicRouteOptions options)
+    : transport_(&transport), s_(s), t_(t), options_(options) {
+  const graph::NodeId n = transport.dynamic_graph().num_nodes();
+  if (s >= n || t >= n)
+    throw std::invalid_argument("DynamicRouteSession: node out of range");
+  if (s == t) {  // degenerate: nothing to send, whatever the topology does
+    finished_ = true;
+    delivered_ = true;
+    session_epoch_ = completion_epoch_ = transport.epoch();
+    return;
+  }
+  rebuild();
+}
+
+void DynamicRouteSession::rebuild() {
+  if (inner_) {
+    carried_transmissions_ += inner_->transmissions();
+    inner_.reset();  // drop pointers into reduced_ before replacing it
+  }
+  session_epoch_ = transport_->epoch();
+  reduced_ = explore::reduce_to_cubic(transport_->snapshot());
+  seq_ = explore::standard_ues(
+      static_cast<graph::NodeId>(reduced_.cubic.num_nodes()),
+      options_.seq_seed);
+  inner_.emplace(reduced_, *seq_, s_, t_);
+}
+
+void DynamicRouteSession::step() {
+  if (finished_) return;
+  if (transport_->epoch() != session_epoch_) {
+    rebuild();
+    ++restarts_;
+  }
+  inner_->step();
+  if (inner_->finished()) {
+    finished_ = true;
+    delivered_ = inner_->status() == net::Status::kSuccess;
+    completion_epoch_ = session_epoch_;
+  }
+}
+
+std::uint64_t DynamicRouteSession::transmissions() const {
+  return carried_transmissions_ + (inner_ ? inner_->transmissions() : 0);
+}
+
+}  // namespace uesr::core

@@ -1,0 +1,96 @@
+// Algorithm Route over a changing topology (the paper's actual setting:
+// "networks with frequently changing topology", §1).
+//
+// The static RouteSession walks one fixed reduced graph; under churn the
+// graph moves while the message is in flight, and every piece of the §2.4
+// bookkeeping — the departure-edge indices, the reversal rule, the failure
+// certificate — is stated relative to ONE topology.  The dynamic driver
+// therefore treats the epoch stamp of net::DynamicTransport as part of the
+// walk's validity: before every transmission it compares the transport's
+// epoch() with the epoch its current walk started in, and on any change it
+// RESTARTS — rebuilds the degree reduction and a T_n sized for the new
+// snapshot and re-injects at s (the stateless model makes restarts free:
+// no node has anything to forget).  Consequently every completed walk ran
+// entirely within a single epoch, which is what keeps the §2.4 semantics
+// exact:
+//
+//   * delivered            — the forward walk reached t and the backward
+//                            confirmation returned to s, all against one
+//                            epoch's topology;
+//   * failure_certified    — a full walk exhausted its sequence within one
+//                            epoch: t was provably not in s's component AT
+//                            completion_epoch() (the usual empirical-
+//                            universality caveat of DESIGN.md §3 applies).
+//                            The certificate says nothing about later
+//                            epochs — links may come back.
+//
+// Termination: the session finishes as soon as the topology holds still
+// long enough for one full walk (in particular always, once a finite
+// schedule ends); a topology that changes forever faster than walks
+// complete can starve the message forever, which is a property of the
+// network, not the algorithm — the churn bench measures exactly this edge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/route.h"
+#include "explore/degree_reduce.h"
+#include "explore/sequence.h"
+#include "net/dynamic_transport.h"
+
+namespace uesr::core {
+
+struct DynamicRouteOptions {
+  /// Seed of the per-epoch T_n family (each restart sizes a fresh sequence
+  /// for the new snapshot's reduction).
+  std::uint64_t seq_seed = 0x5eed0001;
+};
+
+/// Resumable dynamic routing: each step() performs at most one transmission
+/// against the transport's current epoch, restarting transparently when the
+/// epoch moved since the previous step.
+class DynamicRouteSession {
+ public:
+  DynamicRouteSession(const net::DynamicTransport& transport,
+                      graph::NodeId s, graph::NodeId t,
+                      DynamicRouteOptions options = {});
+
+  /// One transmission (or the free terminate step that ends a walk).
+  /// No-op once finished().
+  void step();
+
+  bool finished() const { return finished_; }
+  bool delivered() const { return delivered_; }
+  /// Certified: a full failed walk completed within completion_epoch().
+  bool failure_certified() const { return finished_ && !delivered_; }
+
+  /// Transmissions across all restarts (discarded walks included — they
+  /// were really sent).
+  std::uint64_t transmissions() const;
+  /// Epoch-change restarts performed so far.
+  std::uint64_t restarts() const { return restarts_; }
+  /// Epoch the in-flight (or final) walk runs in.
+  std::uint64_t session_epoch() const { return session_epoch_; }
+  /// Epoch the verdict is about; meaningful once finished().
+  std::uint64_t completion_epoch() const { return completion_epoch_; }
+
+ private:
+  void rebuild();
+
+  const net::DynamicTransport* transport_;
+  graph::NodeId s_, t_;
+  DynamicRouteOptions options_;
+  explore::ReducedGraph reduced_;
+  std::shared_ptr<const explore::ExplorationSequence> seq_;
+  std::optional<RouteSession> inner_;
+  std::uint64_t session_epoch_ = 0;
+  std::uint64_t carried_transmissions_ = 0;  ///< from discarded walks
+  std::uint64_t restarts_ = 0;
+  bool finished_ = false;
+  bool delivered_ = false;
+  std::uint64_t completion_epoch_ = 0;
+};
+
+}  // namespace uesr::core

@@ -1,0 +1,195 @@
+#include "graph/churn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace uesr::graph {
+
+namespace {
+
+std::vector<std::pair<NodeId, NodeId>> edge_list(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (Port p = 0; p < g.degree(u); ++p) {
+      NodeId v = g.neighbor(u, p);
+      if (v > u) edges.push_back({u, v});
+    }
+  return edges;
+}
+
+}  // namespace
+
+// ---- LinkFlapScenario ----------------------------------------------------
+
+LinkFlapScenario::LinkFlapScenario(Graph base, unsigned flaps_per_epoch,
+                                   std::uint64_t seed)
+    : base_(std::move(base)), base_edges_(edge_list(base_)),
+      flaps_(flaps_per_epoch), seed_(seed) {}
+
+std::string LinkFlapScenario::name() const {
+  return "flap(" + std::to_string(flaps_) + ")";
+}
+
+DynamicGraph LinkFlapScenario::initial() {
+  tick_ = 0;
+  return DynamicGraph(base_);
+}
+
+void LinkFlapScenario::advance(DynamicGraph& g) {
+  ++tick_;
+  if (!base_edges_.empty()) {
+    util::Pcg32 rng(util::counter_hash(seed_, tick_));
+    for (unsigned f = 0; f < flaps_; ++f) {
+      const auto& [u, v] = base_edges_[rng.next_below(
+          static_cast<std::uint32_t>(base_edges_.size()))];
+      if (g.has_edge(u, v))
+        g.remove_edge(u, v);
+      else
+        g.add_edge(u, v);
+    }
+  }
+  g.commit();
+}
+
+std::unique_ptr<Scenario> LinkFlapScenario::fresh() const {
+  return std::make_unique<LinkFlapScenario>(base_, flaps_, seed_);
+}
+
+// ---- NodeChurnScenario ---------------------------------------------------
+
+NodeChurnScenario::NodeChurnScenario(Graph base, double p_leave,
+                                     double p_join, std::uint64_t seed)
+    : base_(std::move(base)), base_edges_(edge_list(base_)),
+      p_leave_(p_leave), p_join_(p_join), seed_(seed) {
+  if (p_leave < 0.0 || p_leave > 1.0 || p_join < 0.0 || p_join > 1.0)
+    throw std::invalid_argument("NodeChurnScenario: probabilities in [0,1]");
+}
+
+std::string NodeChurnScenario::name() const {
+  return "churn(" + util::format_double(p_leave_, 2) + "," +
+         util::format_double(p_join_, 2) + ")";
+}
+
+DynamicGraph NodeChurnScenario::initial() {
+  tick_ = 0;
+  return DynamicGraph(base_);
+}
+
+void NodeChurnScenario::advance(DynamicGraph& g) {
+  ++tick_;
+  util::Pcg32 rng(util::counter_hash(seed_, tick_));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double r = rng.next_double();
+    if (g.alive(v)) {
+      if (r < p_leave_) g.set_alive(v, false);
+    } else {
+      if (r < p_join_) g.set_alive(v, true);
+    }
+  }
+  // Live links are exactly the base links both of whose endpoints are up:
+  // leaves dropped theirs above; rejoined pairs get theirs back here.
+  for (const auto& [u, v] : base_edges_)
+    if (g.alive(u) && g.alive(v)) g.add_edge(u, v);
+  g.commit();
+}
+
+std::unique_ptr<Scenario> NodeChurnScenario::fresh() const {
+  return std::make_unique<NodeChurnScenario>(base_, p_leave_, p_join_, seed_);
+}
+
+// ---- WaypointScenario ----------------------------------------------------
+
+WaypointScenario::WaypointScenario(NodeId n, int dim, double radius,
+                                   double speed, std::uint64_t seed)
+    : n_(n), dim_(dim), radius_(radius), speed_(speed), seed_(seed) {
+  if (n < 1) throw std::invalid_argument("WaypointScenario: n >= 1");
+  if (dim != 2 && dim != 3)
+    throw std::invalid_argument("WaypointScenario: dim is 2 or 3");
+  if (radius <= 0.0 || speed <= 0.0)
+    throw std::invalid_argument("WaypointScenario: radius, speed > 0");
+}
+
+std::string WaypointScenario::name() const {
+  return "waypoint" + std::to_string(dim_) + "d(r=" +
+         util::format_double(radius_, 2) + ",v=" +
+         util::format_double(speed_, 2) + ")";
+}
+
+double WaypointScenario::draw_coord(std::uint64_t salt, NodeId i,
+                                    int c) const {
+  const std::uint64_t counter =
+      (salt << 34) ^ (static_cast<std::uint64_t>(i) << 2) ^
+      static_cast<std::uint64_t>(c);
+  // 53-bit mantissa of a uniform double in [0, 1).
+  return static_cast<double>(util::counter_hash(seed_, counter) >> 11) *
+         0x1.0p-53;
+}
+
+DynamicGraph WaypointScenario::initial() {
+  tick_ = 0;
+  waypoint_draws_ = 0;
+  points_.resize(n_);
+  waypoints_.resize(n_);
+  for (NodeId i = 0; i < n_; ++i) {
+    points_[i] = {draw_coord(0, i, 0), draw_coord(0, i, 1),
+                  dim_ == 3 ? draw_coord(0, i, 2) : 0.0};
+    waypoints_[i] = {draw_coord(1, i, 0), draw_coord(1, i, 1),
+                     dim_ == 3 ? draw_coord(1, i, 2) : 0.0};
+  }
+  DynamicGraph g(n_);
+  if (dim_ == 2) {
+    std::vector<Point2> pos(n_);
+    for (NodeId i = 0; i < n_; ++i) pos[i] = {points_[i].x, points_[i].y};
+    g.set_positions(std::move(pos));
+  } else {
+    g.set_positions(points_);
+  }
+  g.rederive_unit_disk(radius_);
+  g.commit();
+  return g;
+}
+
+void WaypointScenario::move_points() {
+  for (NodeId i = 0; i < n_; ++i) {
+    Point3& p = points_[i];
+    const Point3& w = waypoints_[i];
+    const double dx = w.x - p.x, dy = w.y - p.y, dz = w.z - p.z;
+    const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
+    if (dist <= speed_) {
+      p = w;  // arrived: draw the next private waypoint
+      ++waypoint_draws_;
+      waypoints_[i] = {draw_coord(1 + waypoint_draws_, i, 0),
+                       draw_coord(1 + waypoint_draws_, i, 1),
+                       dim_ == 3 ? draw_coord(1 + waypoint_draws_, i, 2)
+                                 : 0.0};
+    } else {
+      const double step = speed_ / dist;
+      p.x += dx * step;
+      p.y += dy * step;
+      p.z += dz * step;
+    }
+  }
+}
+
+void WaypointScenario::advance(DynamicGraph& g) {
+  ++tick_;
+  move_points();
+  if (dim_ == 2) {
+    std::vector<Point2> pos(n_);
+    for (NodeId i = 0; i < n_; ++i) pos[i] = {points_[i].x, points_[i].y};
+    g.set_positions(std::move(pos));
+  } else {
+    g.set_positions(points_);
+  }
+  g.rederive_unit_disk(radius_);
+  g.commit();
+}
+
+std::unique_ptr<Scenario> WaypointScenario::fresh() const {
+  return std::make_unique<WaypointScenario>(n_, dim_, radius_, speed_, seed_);
+}
+
+}  // namespace uesr::graph

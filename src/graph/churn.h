@@ -1,0 +1,134 @@
+// Dynamic-topology scenario generators: the schedules the churn experiments
+// route under.
+//
+// A Scenario owns a deterministic schedule of epochs over a DynamicGraph:
+// initial() (re)builds the epoch-0 topology and advance() stages + commits
+// the next epoch.  Replays are exact — fresh() clones a scenario back to
+// the start of its schedule, and every random choice derives from the
+// construction seed (tick-indexed via counter_hash where the schedule is
+// memoryless), so two replays of the same scenario produce bit-identical
+// epoch sequences.  That is what lets the ChurnRouter harness run four
+// routers "under identical schedules" and lets churn experiments fan trials
+// out over threads without the tables moving (PR 3 convention).
+//
+// Three families, mirroring how real ad hoc topologies change:
+//   * LinkFlapScenario   — radio links of a base graph go down and come
+//     back (interference, duty cycling).
+//   * NodeChurnScenario  — nodes leave and rejoin (battery, sleep
+//     schedules); the live edge set is always base ∩ alive².
+//   * WaypointScenario   — random-waypoint mobility in the unit square /
+//     cube; each epoch moves every node toward its waypoint and re-derives
+//     the unit-disk radio graph from the new positions (the model of the
+//     1/2-disk scheme's mobile relays in PAPERS.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic.h"
+#include "graph/graph.h"
+
+namespace uesr::graph {
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Node count of every graph this scenario produces.
+  virtual NodeId num_nodes() const = 0;
+
+  /// Rebuilds the epoch-0 topology and rewinds the schedule: after
+  /// initial(), the next advance() is epoch tick 1 again.
+  virtual DynamicGraph initial() = 0;
+
+  /// Stages and commits the next scheduled epoch on g.  g must be the
+  /// graph this scenario's own initial()/advance() calls produced.
+  virtual void advance(DynamicGraph& g) = 0;
+
+  /// A clone rewound to the start of the schedule (for replays from const
+  /// contexts; the clone replays the identical epoch sequence).
+  virtual std::unique_ptr<Scenario> fresh() const = 0;
+};
+
+/// Each epoch toggles `flaps` links drawn (with replacement) from the base
+/// graph's edge list: a present link goes down, an absent one comes back.
+/// The toggle set of tick k is a pure function of (seed, k).
+class LinkFlapScenario final : public Scenario {
+ public:
+  LinkFlapScenario(Graph base, unsigned flaps_per_epoch, std::uint64_t seed);
+
+  std::string name() const override;
+  NodeId num_nodes() const override { return base_.num_nodes(); }
+  DynamicGraph initial() override;
+  void advance(DynamicGraph& g) override;
+  std::unique_ptr<Scenario> fresh() const override;
+
+ private:
+  Graph base_;
+  std::vector<std::pair<NodeId, NodeId>> base_edges_;
+  unsigned flaps_;
+  std::uint64_t seed_;
+  std::uint64_t tick_ = 0;
+};
+
+/// Each epoch every alive node leaves with probability p_leave and every
+/// dead node rejoins with probability p_join; the edge set is then restored
+/// to {base edges with both endpoints alive}.  Flips at tick k are a pure
+/// function of (seed, k).  With p_leave high enough this isolates sources —
+/// the schedule the random-walk livelock fix is tested under.
+class NodeChurnScenario final : public Scenario {
+ public:
+  NodeChurnScenario(Graph base, double p_leave, double p_join,
+                    std::uint64_t seed);
+
+  std::string name() const override;
+  NodeId num_nodes() const override { return base_.num_nodes(); }
+  DynamicGraph initial() override;
+  void advance(DynamicGraph& g) override;
+  std::unique_ptr<Scenario> fresh() const override;
+
+ private:
+  Graph base_;
+  std::vector<std::pair<NodeId, NodeId>> base_edges_;
+  double p_leave_, p_join_;
+  std::uint64_t seed_;
+  std::uint64_t tick_ = 0;
+};
+
+/// Random-waypoint mobility: n nodes in the unit square (dim 2) or cube
+/// (dim 3), each walking toward a private waypoint at `speed` per epoch and
+/// drawing a new waypoint on arrival; every epoch re-derives the unit-disk
+/// radio graph at `radius` and publishes the new positions (so geographic
+/// baselines route on live coordinates).  The whole trajectory is a pure
+/// function of the construction parameters.
+class WaypointScenario final : public Scenario {
+ public:
+  WaypointScenario(NodeId n, int dim, double radius, double speed,
+                   std::uint64_t seed);
+
+  std::string name() const override;
+  NodeId num_nodes() const override { return n_; }
+  DynamicGraph initial() override;
+  void advance(DynamicGraph& g) override;
+  std::unique_ptr<Scenario> fresh() const override;
+
+ private:
+  /// Coordinate c of node i at schedule start / its current waypoint.
+  double draw_coord(std::uint64_t salt, NodeId i, int c) const;
+  void move_points();
+
+  NodeId n_;
+  int dim_;
+  double radius_, speed_;
+  std::uint64_t seed_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t waypoint_draws_ = 0;  ///< total re-draws so far (replay state)
+  std::vector<Point3> points_;        ///< z unused when dim == 2
+  std::vector<Point3> waypoints_;
+};
+
+}  // namespace uesr::graph

@@ -1,0 +1,133 @@
+#include "graph/dynamic.h"
+
+#include <stdexcept>
+
+namespace uesr::graph {
+
+DynamicGraph::DynamicGraph(NodeId n)
+    : num_nodes_(n), alive_(n, 1) {
+  rebuild_snapshot();
+}
+
+DynamicGraph::DynamicGraph(const Graph& g)
+    : num_nodes_(g.num_nodes()), alive_(g.num_nodes(), 1) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (Port p = 0; p < g.degree(u); ++p) {
+      NodeId v = g.neighbor(u, p);
+      if (v == u)
+        throw std::invalid_argument("DynamicGraph: loops not supported");
+      if (v < u) continue;  // each undirected edge once
+      if (!edges_.insert(normalize(u, v)).second)
+        throw std::invalid_argument(
+            "DynamicGraph: parallel edges not supported");
+    }
+  rebuild_snapshot();
+}
+
+DynamicGraph::Edge DynamicGraph::normalize(NodeId u, NodeId v) {
+  return u < v ? Edge{u, v} : Edge{v, u};
+}
+
+void DynamicGraph::check_node(NodeId v, const char* who) const {
+  if (v >= num_nodes_)
+    throw std::invalid_argument(std::string(who) + ": node out of range");
+}
+
+bool DynamicGraph::add_edge(NodeId u, NodeId v) {
+  check_node(u, "DynamicGraph::add_edge");
+  check_node(v, "DynamicGraph::add_edge");
+  if (u == v || !alive_[u] || !alive_[v]) return false;
+  if (!edges_.insert(normalize(u, v)).second) return false;
+  dirty_ = true;
+  return true;
+}
+
+bool DynamicGraph::remove_edge(NodeId u, NodeId v) {
+  check_node(u, "DynamicGraph::remove_edge");
+  check_node(v, "DynamicGraph::remove_edge");
+  if (edges_.erase(normalize(u, v)) == 0) return false;
+  dirty_ = true;
+  return true;
+}
+
+bool DynamicGraph::set_alive(NodeId v, bool alive) {
+  check_node(v, "DynamicGraph::set_alive");
+  if (static_cast<bool>(alive_[v]) == alive) return false;
+  alive_[v] = alive ? 1 : 0;
+  if (!alive) {
+    for (auto it = edges_.begin(); it != edges_.end();)
+      it = (it->first == v || it->second == v) ? edges_.erase(it) : ++it;
+  }
+  dirty_ = true;
+  return true;
+}
+
+bool DynamicGraph::alive(NodeId v) const {
+  check_node(v, "DynamicGraph::alive");
+  return alive_[v] != 0;
+}
+
+bool DynamicGraph::has_edge(NodeId u, NodeId v) const {
+  check_node(u, "DynamicGraph::has_edge");
+  check_node(v, "DynamicGraph::has_edge");
+  return u != v && edges_.count(normalize(u, v)) > 0;
+}
+
+void DynamicGraph::set_positions(std::vector<Point2> pos) {
+  if (pos.size() != num_nodes_)
+    throw std::invalid_argument("DynamicGraph::set_positions: size mismatch");
+  pos2_ = std::move(pos);
+  pos3_.clear();
+  dirty_ = true;
+}
+
+void DynamicGraph::set_positions(std::vector<Point3> pos) {
+  if (pos.size() != num_nodes_)
+    throw std::invalid_argument("DynamicGraph::set_positions: size mismatch");
+  pos3_ = std::move(pos);
+  pos2_.clear();
+  dirty_ = true;
+}
+
+void DynamicGraph::rederive_unit_disk(double radius) {
+  if (radius <= 0.0)
+    throw std::invalid_argument("DynamicGraph::rederive_unit_disk: radius > 0");
+  if (pos2_.empty() && pos3_.empty())
+    throw std::logic_error(
+        "DynamicGraph::rederive_unit_disk: no positions set");
+  std::set<Edge> fresh;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    if (!alive_[u]) continue;
+    for (NodeId v = u + 1; v < num_nodes_; ++v) {
+      if (!alive_[v]) continue;
+      double d = pos2_.empty() ? distance(pos3_[u], pos3_[v])
+                               : distance(pos2_[u], pos2_[v]);
+      if (d <= radius) fresh.insert({u, v});
+    }
+  }
+  if (fresh != edges_) {
+    edges_ = std::move(fresh);
+    dirty_ = true;
+  }
+}
+
+std::uint64_t DynamicGraph::commit() {
+  if (!dirty_) return epoch_;
+  ++epoch_;
+  rebuild_snapshot();
+  dirty_ = false;
+  return epoch_;
+}
+
+void DynamicGraph::rebuild_snapshot() {
+  GraphBuilder b(num_nodes_);
+  // std::set iterates edges in sorted order, so a given edge set always
+  // yields the same port assignment — the snapshot is a pure function of
+  // the staged state.
+  for (const auto& [u, v] : edges_) b.add_edge(u, v);
+  snapshot_ = std::move(b).build();
+  committed_pos2_ = pos2_;
+  committed_pos3_ = pos3_;
+}
+
+}  // namespace uesr::graph

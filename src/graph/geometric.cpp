@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "graph/algorithms.h"
+#include "util/table.h"
 
 namespace uesr::graph {
 
@@ -44,24 +46,47 @@ Positioned3 unit_disk_3d(NodeId n, double radius, std::uint64_t seed) {
   return {std::move(b).build(), std::move(pos)};
 }
 
+namespace {
+
+constexpr std::uint32_t kConnectedResampleBudget = 10000;
+
+[[noreturn]] void throw_sub_critical(const char* who, NodeId n,
+                                     double radius) {
+  throw std::runtime_error(
+      std::string(who) + ": no connected instance in " +
+      std::to_string(kConnectedResampleBudget) + " attempts (n=" +
+      std::to_string(n) + ", radius=" + util::format_double(radius, 6) +
+      "); the radius is sub-critical for this n");
+}
+
+}  // namespace
+
 Positioned2 connected_unit_disk_2d(NodeId n, double radius,
                                    std::uint64_t seed) {
   util::SplitMix64 seeder(seed);
-  for (int attempt = 0; attempt < 10000; ++attempt) {
+  for (std::uint32_t attempt = 0; attempt < kConnectedResampleBudget;
+       ++attempt) {
     Positioned2 g = unit_disk_2d(n, radius, seeder.next());
-    if (is_connected(g.graph)) return g;
+    if (is_connected(g.graph)) {
+      g.resamples = attempt;
+      return g;
+    }
   }
-  throw std::runtime_error("connected_unit_disk_2d: radius too small");
+  throw_sub_critical("connected_unit_disk_2d", n, radius);
 }
 
 Positioned3 connected_unit_disk_3d(NodeId n, double radius,
                                    std::uint64_t seed) {
   util::SplitMix64 seeder(seed);
-  for (int attempt = 0; attempt < 10000; ++attempt) {
+  for (std::uint32_t attempt = 0; attempt < kConnectedResampleBudget;
+       ++attempt) {
     Positioned3 g = unit_disk_3d(n, radius, seeder.next());
-    if (is_connected(g.graph)) return g;
+    if (is_connected(g.graph)) {
+      g.resamples = attempt;
+      return g;
+    }
   }
-  throw std::runtime_error("connected_unit_disk_3d: radius too small");
+  throw_sub_critical("connected_unit_disk_3d", n, radius);
 }
 
 Positioned2 gabriel_subgraph(const Positioned2& in) {
@@ -83,7 +108,7 @@ Positioned2 gabriel_subgraph(const Positioned2& in) {
       if (keep) b.add_edge(u, v);
     }
   }
-  return {std::move(b).build(), pos};
+  return {std::move(b).build(), pos, in.resamples};
 }
 
 namespace {

@@ -29,12 +29,18 @@ double distance(const Point3& a, const Point3& b);
 struct Positioned2 {
   Graph graph;
   std::vector<Point2> positions;
+  /// Rejected draws before this instance (the connected_* generators
+  /// resample until connected; 0 for the plain generators).  Experiment
+  /// tables report it so sub-critical radii show up as data, not mystery
+  /// slowness.
+  std::uint32_t resamples = 0;
 };
 
 /// A graph whose vertices carry 3D positions (drone mesh / underwater).
 struct Positioned3 {
   Graph graph;
   std::vector<Point3> positions;
+  std::uint32_t resamples = 0;  ///< rejected draws; see Positioned2
 };
 
 /// n points uniform in the unit square; edge iff distance <= radius.
@@ -43,7 +49,10 @@ Positioned2 unit_disk_2d(NodeId n, double radius, std::uint64_t seed);
 /// n points uniform in the unit cube; edge iff distance <= radius.
 Positioned3 unit_disk_3d(NodeId n, double radius, std::uint64_t seed);
 
-/// Resamples until the unit-disk graph is connected.
+/// Resamples until the unit-disk graph is connected (the result's
+/// `resamples` field counts the rejected draws).  Throws std::runtime_error
+/// naming n, radius, and the attempt budget when no connected instance
+/// appears within 10000 draws — i.e. the radius is sub-critical.
 Positioned2 connected_unit_disk_2d(NodeId n, double radius,
                                    std::uint64_t seed);
 Positioned3 connected_unit_disk_3d(NodeId n, double radius,

@@ -1,0 +1,19 @@
+#include "net/dynamic_transport.h"
+
+#include <stdexcept>
+
+namespace uesr::net {
+
+Arrival DynamicTransport::send(graph::NodeId from, graph::Port out_port) {
+  const graph::Graph& g = graph_->snapshot();
+  if (from >= g.num_nodes())
+    throw std::invalid_argument("DynamicTransport::send: bad node");
+  if (out_port >= g.degree(from))
+    throw std::invalid_argument(
+        "DynamicTransport::send: port not present in the current epoch");
+  ++transmissions_;
+  graph::HalfEdge far = g.rotate(from, out_port);
+  return {far.node, far.port};
+}
+
+}  // namespace uesr::net

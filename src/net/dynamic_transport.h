@@ -1,0 +1,51 @@
+// Port-accurate message transport over an epoch-stamped dynamic topology.
+//
+// The static Transport promises exactly what a physical node knows; the
+// dynamic variant adds the one extra fact a changing network forces on the
+// sender: a transmission happens against the topology of *some* epoch, and
+// a port that existed when the header was written may be gone by the next
+// send.  DynamicTransport therefore serves every send from the graph's
+// current committed snapshot, exposes that snapshot's epoch() for drivers
+// to compare (core::DynamicRouteSession restarts when it moves), and keeps
+// the static contract otherwise: one send, one transmission, no per-node
+// state anywhere.
+//
+// Sends out of a port the current snapshot does not have throw, exactly as
+// Transport does for a bad port — a correct dynamic driver re-reads the
+// epoch before trusting any port number it computed earlier.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dynamic.h"
+#include "net/transport.h"
+
+namespace uesr::net {
+
+class DynamicTransport {
+ public:
+  /// The dynamic graph must outlive the transport.
+  explicit DynamicTransport(const graph::DynamicGraph& g) : graph_(&g) {}
+
+  /// Transmit across the edge at (from, out_port) of the *current* epoch's
+  /// snapshot; returns where the message lands.  Counts one transmission.
+  Arrival send(graph::NodeId from, graph::Port out_port);
+
+  /// Epoch stamp of the topology the next send will use.
+  std::uint64_t epoch() const { return graph_->epoch(); }
+
+  /// The current committed snapshot (valid until the topology commits a
+  /// new epoch).
+  const graph::Graph& snapshot() const { return graph_->snapshot(); }
+
+  const graph::DynamicGraph& dynamic_graph() const { return *graph_; }
+
+  std::uint64_t transmissions() const { return transmissions_; }
+  void reset_transmissions() { transmissions_ = 0; }
+
+ private:
+  const graph::DynamicGraph* graph_;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace uesr::net

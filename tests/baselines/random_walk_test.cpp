@@ -63,6 +63,49 @@ TEST(RandomWalkSession, IsolatedNodeExhaustsTtl) {
   EXPECT_FALSE(s.delivered());
 }
 
+// Regression: an isolated source with ttl == 0 ("unlimited") used to spin
+// forever — exhausted() required ttl_ != 0 — while charging phantom
+// transmissions for frames that were never sent.  A degree-0 current node
+// must exhaust the session immediately, at zero cost.
+TEST(RandomWalkSession, IsolatedSourceWithUnlimitedTtlExhaustsImmediately) {
+  graph::Graph g = graph::GraphBuilder(3).build();
+  RandomWalkSession s(g, 0, 2, /*ttl=*/0, /*seed=*/17);
+  EXPECT_FALSE(s.exhausted());
+  s.step();
+  EXPECT_TRUE(s.exhausted());
+  EXPECT_FALSE(s.delivered());
+  EXPECT_EQ(s.transmissions(), 0u);
+  s.step();  // further steps stay a no-op
+  EXPECT_EQ(s.transmissions(), 0u);
+}
+
+TEST(RandomWalk, IsolatedSourceRouteTerminatesUncertified) {
+  // Source isolated, any ttl (including unlimited): route() must return,
+  // report zero transmissions, and certify nothing — a stranded walk is a
+  // give-up, not a disconnection proof.
+  graph::Graph g = graph::from_edges(4, {{1, 2}, {2, 3}});
+  for (std::uint64_t ttl : {std::uint64_t{0}, std::uint64_t{100}}) {
+    RandomWalkRouter router(g, ttl, /*seed=*/23);
+    auto a = router.route(0, 3);
+    EXPECT_FALSE(a.delivered) << "ttl=" << ttl;
+    EXPECT_FALSE(a.failure_certified) << "ttl=" << ttl;
+    EXPECT_EQ(a.transmissions, 0u) << "ttl=" << ttl;
+  }
+}
+
+TEST(RandomWalkSession, WalkStrandedMidwayExhausts) {
+  // A path into a pendant that is then isolated cannot happen on a static
+  // graph, but a star centre with the walk started on a leaf of degree 1
+  // exercises the deg-0 branch only via an isolated *source*; the session
+  // must also exhaust when s itself is the target's component but t is
+  // isolated — the walk just never delivers and the TTL fires normally.
+  graph::Graph g = graph::from_edges(3, {{0, 1}});
+  RandomWalkSession s(g, 0, 2, /*ttl=*/64, /*seed=*/5);
+  while (!s.exhausted()) s.step();
+  EXPECT_FALSE(s.delivered());
+  EXPECT_EQ(s.transmissions(), 64u);  // real transmissions, fully charged
+}
+
 TEST(RandomWalkSession, ValidatesArguments) {
   graph::Graph g = graph::cycle(3);
   EXPECT_THROW(RandomWalkSession(g, 5, 0, 0, 1), std::invalid_argument);

@@ -1,0 +1,137 @@
+#include "graph/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/geometric.h"
+
+namespace uesr::graph {
+namespace {
+
+/// Runs `epochs` advances and returns the snapshot sequence (including
+/// epoch 0).
+std::vector<Graph> snapshots(Scenario& sc, int epochs) {
+  std::vector<Graph> out;
+  DynamicGraph g = sc.initial();
+  out.push_back(g.snapshot());
+  for (int k = 0; k < epochs; ++k) {
+    sc.advance(g);
+    out.push_back(g.snapshot());
+  }
+  return out;
+}
+
+TEST(LinkFlapScenario, ReplaysAreBitIdentical) {
+  LinkFlapScenario sc(connected_gnp(20, 0.25, 3), 2, 7);
+  auto a = snapshots(sc, 10);
+  auto b = snapshots(sc, 10);  // initial() rewinds the schedule
+  EXPECT_EQ(a, b);
+  auto clone = sc.fresh();
+  auto c = snapshots(*clone, 10);
+  EXPECT_EQ(a, c);
+}
+
+TEST(LinkFlapScenario, TogglesStayWithinBaseEdges) {
+  Graph base = connected_gnp(16, 0.3, 5);
+  LinkFlapScenario sc(base, 3, 11);
+  DynamicGraph g = sc.initial();
+  bool some_epoch_differs = false;
+  for (int k = 0; k < 12; ++k) {
+    sc.advance(g);
+    const Graph& snap = g.snapshot();
+    for (NodeId u = 0; u < snap.num_nodes(); ++u)
+      for (NodeId v : snap.neighbors(u))
+        EXPECT_TRUE(base.adjacent(u, v)) << u << "," << v;
+    some_epoch_differs =
+        some_epoch_differs || snap.num_edges() != base.num_edges();
+  }
+  EXPECT_TRUE(some_epoch_differs);  // the schedule actually flaps
+}
+
+TEST(NodeChurnScenario, EdgesAreBaseRestrictedToAliveNodes) {
+  Graph base = connected_gnp(18, 0.3, 9);
+  NodeChurnScenario sc(base, 0.2, 0.5, 13);
+  DynamicGraph g = sc.initial();
+  bool someone_left = false;
+  for (int k = 0; k < 15; ++k) {
+    sc.advance(g);
+    const Graph& snap = g.snapshot();
+    std::size_t expected_edges = 0;
+    for (NodeId u = 0; u < base.num_nodes(); ++u)
+      for (NodeId v : base.neighbors(u))
+        if (v > u && g.alive(u) && g.alive(v)) ++expected_edges;
+    EXPECT_EQ(snap.num_edges(), expected_edges) << "epoch " << k;
+    for (NodeId v = 0; v < base.num_nodes(); ++v) {
+      if (!g.alive(v)) {
+        EXPECT_EQ(snap.degree(v), 0u);
+        someone_left = true;
+      }
+    }
+  }
+  EXPECT_TRUE(someone_left);
+}
+
+TEST(NodeChurnScenario, ReplaysAreBitIdentical) {
+  NodeChurnScenario sc(connected_gnp(14, 0.3, 1), 0.15, 0.4, 21);
+  EXPECT_EQ(snapshots(sc, 8), snapshots(sc, 8));
+  auto clone = sc.fresh();
+  EXPECT_EQ(snapshots(sc, 8), snapshots(*clone, 8));
+}
+
+TEST(WaypointScenario, RadioGraphTracksPositions) {
+  WaypointScenario sc(25, 2, 0.3, 0.06, 17);
+  DynamicGraph g = sc.initial();
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_TRUE(g.has_positions_2d());
+    const auto& pos = g.positions_2d();
+    for (const auto& p : pos) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LT(p.x, 1.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LT(p.y, 1.0);
+    }
+    const Graph& snap = g.snapshot();
+    for (NodeId u = 0; u < snap.num_nodes(); ++u)
+      for (NodeId v = u + 1; v < snap.num_nodes(); ++v)
+        EXPECT_EQ(snap.adjacent(u, v), distance(pos[u], pos[v]) <= 0.3);
+    sc.advance(g);
+  }
+}
+
+TEST(WaypointScenario, NodesActuallyMoveAndEpochAdvances) {
+  WaypointScenario sc(12, 3, 0.5, 0.08, 29);
+  DynamicGraph g = sc.initial();
+  const std::uint64_t e0 = g.epoch();
+  auto before = g.positions_3d();
+  sc.advance(g);
+  EXPECT_GT(g.epoch(), e0);  // moved positions always commit a new epoch
+  auto after = g.positions_3d();
+  double total_motion = 0.0;
+  for (NodeId i = 0; i < 12; ++i)
+    total_motion += distance(before[i], after[i]);
+  EXPECT_GT(total_motion, 0.0);
+}
+
+TEST(WaypointScenario, ReplaysAreBitIdentical) {
+  WaypointScenario sc(20, 2, 0.28, 0.05, 31);
+  EXPECT_EQ(snapshots(sc, 12), snapshots(sc, 12));
+  auto clone = sc.fresh();
+  EXPECT_EQ(snapshots(sc, 12), snapshots(*clone, 12));
+}
+
+TEST(Scenarios, Validation) {
+  EXPECT_THROW(NodeChurnScenario(cycle(4), -0.1, 0.5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(NodeChurnScenario(cycle(4), 0.1, 1.5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(WaypointScenario(0, 2, 0.3, 0.05, 1), std::invalid_argument);
+  EXPECT_THROW(WaypointScenario(5, 4, 0.3, 0.05, 1), std::invalid_argument);
+  EXPECT_THROW(WaypointScenario(5, 2, -1.0, 0.05, 1), std::invalid_argument);
+  EXPECT_THROW(WaypointScenario(5, 2, 0.3, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::graph

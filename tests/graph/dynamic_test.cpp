@@ -1,0 +1,148 @@
+#include "graph/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/geometric.h"
+
+namespace uesr::graph {
+namespace {
+
+TEST(DynamicGraph, StartsCommittedAtEpochZero) {
+  DynamicGraph g(4);
+  EXPECT_EQ(g.epoch(), 0u);
+  EXPECT_FALSE(g.dirty());
+  EXPECT_EQ(g.snapshot().num_nodes(), 4u);
+  EXPECT_EQ(g.snapshot().num_edges(), 0u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_TRUE(g.alive(v));
+}
+
+TEST(DynamicGraph, AdoptsGraphEdges) {
+  Graph base = cycle(5);
+  DynamicGraph g(base);
+  EXPECT_EQ(g.snapshot().num_edges(), 5u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(4, 0));
+  // Port numbering may differ (snapshot ports are sorted-order), but the
+  // edge set is identical.
+  for (NodeId u = 0; u < 5; ++u)
+    for (NodeId v = 0; v < 5; ++v)
+      EXPECT_EQ(g.snapshot().adjacent(u, v), base.adjacent(u, v));
+}
+
+TEST(DynamicGraph, RejectsLoopsAndParallelEdges) {
+  EXPECT_THROW(DynamicGraph(from_edges(2, {{0, 0}})), std::invalid_argument);
+  EXPECT_THROW(DynamicGraph(from_edges(2, {{0, 1}, {0, 1}})),
+               std::invalid_argument);
+}
+
+TEST(DynamicGraph, StagedEditsInvisibleUntilCommit) {
+  DynamicGraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.dirty());
+  EXPECT_TRUE(g.has_edge(0, 1));                 // staged view
+  EXPECT_EQ(g.snapshot().num_edges(), 0u);       // committed view
+  EXPECT_EQ(g.epoch(), 0u);
+  EXPECT_EQ(g.commit(), 1u);
+  EXPECT_FALSE(g.dirty());
+  EXPECT_TRUE(g.snapshot().adjacent(0, 1));
+}
+
+TEST(DynamicGraph, CommitWithoutChangesIsANoOp) {
+  DynamicGraph g(cycle(4));
+  EXPECT_EQ(g.commit(), 0u);
+  EXPECT_EQ(g.commit(), 0u);
+  g.add_edge(0, 2);
+  g.commit();
+  EXPECT_EQ(g.epoch(), 1u);
+  EXPECT_EQ(g.commit(), 1u);  // nothing staged: epoch holds still
+}
+
+TEST(DynamicGraph, MutatorsReportNoOps) {
+  DynamicGraph g(cycle(4));
+  EXPECT_FALSE(g.add_edge(0, 1));   // already present
+  EXPECT_FALSE(g.add_edge(2, 2));   // loop
+  EXPECT_FALSE(g.remove_edge(0, 2));  // absent
+  EXPECT_FALSE(g.set_alive(1, true));  // already alive
+  EXPECT_FALSE(g.dirty());
+  EXPECT_TRUE(g.remove_edge(1, 0));  // order-insensitive
+  EXPECT_TRUE(g.dirty());
+}
+
+TEST(DynamicGraph, LeaveDropsIncidentEdgesAndBlocksNewOnes) {
+  DynamicGraph g(star(3));  // centre 0, leaves 1..3
+  EXPECT_TRUE(g.set_alive(0, false));
+  EXPECT_EQ(g.num_staged_edges(), 0u);
+  EXPECT_FALSE(g.add_edge(0, 1));  // dead endpoint
+  EXPECT_TRUE(g.add_edge(1, 2));   // survivors may re-link
+  g.commit();
+  EXPECT_EQ(g.epoch(), 1u);
+  EXPECT_EQ(g.snapshot().degree(0), 0u);
+  EXPECT_TRUE(g.snapshot().adjacent(1, 2));
+  // Rejoin restores the id as an isolated node.
+  EXPECT_TRUE(g.set_alive(0, true));
+  EXPECT_TRUE(g.add_edge(0, 3));
+  g.commit();
+  EXPECT_EQ(g.epoch(), 2u);
+  EXPECT_TRUE(g.snapshot().adjacent(0, 3));
+}
+
+TEST(DynamicGraph, SnapshotIsDeterministicFunctionOfEdgeSet) {
+  // Two different edit orders reaching the same edge set produce identical
+  // snapshots (sorted-order port assignment).
+  DynamicGraph a(4), b(4);
+  a.add_edge(2, 3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(0, 3);
+  b.remove_edge(0, 3);
+  a.commit();
+  b.commit();
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(DynamicGraph, RederiveUnitDiskMatchesStaticGenerator) {
+  auto ref = unit_disk_2d(30, 0.3, 11);
+  DynamicGraph g(30);
+  g.set_positions(ref.positions);
+  g.rederive_unit_disk(0.3);
+  g.commit();
+  EXPECT_EQ(g.snapshot(), ref.graph);
+  ASSERT_TRUE(g.has_positions_2d());
+  EXPECT_EQ(g.positions_2d().size(), 30u);
+}
+
+TEST(DynamicGraph, RederiveRespectsAliveFlags) {
+  auto ref = unit_disk_3d(20, 0.5, 3);
+  DynamicGraph g(20);
+  g.set_positions(ref.positions);
+  g.set_alive(5, false);
+  g.rederive_unit_disk(0.5);
+  g.commit();
+  EXPECT_EQ(g.snapshot().degree(5), 0u);
+  for (NodeId u = 0; u < 20; ++u)
+    for (NodeId v = u + 1; v < 20; ++v) {
+      if (u == 5 || v == 5) continue;
+      EXPECT_EQ(g.snapshot().adjacent(u, v), ref.graph.adjacent(u, v));
+    }
+}
+
+TEST(DynamicGraph, Validation) {
+  DynamicGraph g(3);
+  EXPECT_THROW(g.add_edge(0, 7), std::invalid_argument);
+  EXPECT_THROW(g.set_alive(9, false), std::invalid_argument);
+  EXPECT_THROW(g.set_positions(std::vector<Point2>(2)),
+               std::invalid_argument);
+  EXPECT_THROW(g.rederive_unit_disk(0.5), std::logic_error);  // no positions
+  g.set_positions(std::vector<Point2>(3));
+  EXPECT_THROW(g.rederive_unit_disk(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::graph

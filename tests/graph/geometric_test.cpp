@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "graph/algorithms.h"
+#include "util/rng.h"
 
 namespace uesr::graph {
 namespace {
@@ -47,6 +51,52 @@ TEST(Geometric, ConnectedVariantsAreConnected) {
   EXPECT_TRUE(is_connected(g2.graph));
   auto g3 = connected_unit_disk_3d(60, 0.4, 5);
   EXPECT_TRUE(is_connected(g3.graph));
+}
+
+// Regression: the sub-critical-radius failure used to be a bare "radius
+// too small" after 10000 silent resamples; the message must now carry n,
+// the radius, and the attempt budget so experiment logs are actionable.
+TEST(Geometric, SubCriticalRadiusThrowsWithDiagnostics) {
+  try {
+    connected_unit_disk_2d(10, 0.01, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("connected_unit_disk_2d"), std::string::npos) << what;
+    EXPECT_NE(what.find("n=10"), std::string::npos) << what;
+    EXPECT_NE(what.find("radius=0.01"), std::string::npos) << what;
+    EXPECT_NE(what.find("10000"), std::string::npos) << what;
+  }
+  try {
+    connected_unit_disk_3d(12, 0.01, 1);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("connected_unit_disk_3d"), std::string::npos) << what;
+    EXPECT_NE(what.find("n=12"), std::string::npos) << what;
+  }
+}
+
+// Regression: the resample count is surfaced to callers.  Replaying the
+// seeder must show `resamples` counting exactly the rejected draws before
+// the returned (connected) instance.
+TEST(Geometric, ResampleCountIsSurfacedAndExact) {
+  EXPECT_EQ(unit_disk_2d(30, 0.25, 7).resamples, 0u);  // plain generator
+  bool saw_resample = false;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    auto g = connected_unit_disk_2d(30, 0.22, seed);
+    EXPECT_TRUE(is_connected(g.graph));
+    util::SplitMix64 seeder(seed);
+    for (std::uint32_t k = 0; k < g.resamples; ++k)
+      EXPECT_FALSE(is_connected(unit_disk_2d(30, 0.22, seeder.next()).graph))
+          << "seed " << seed << " draw " << k;
+    EXPECT_TRUE(is_connected(unit_disk_2d(30, 0.22, seeder.next()).graph))
+        << "seed " << seed;
+    saw_resample = saw_resample || g.resamples > 0;
+  }
+  // At this n/radius some seed must actually reject at least once, or the
+  // test is vacuous.
+  EXPECT_TRUE(saw_resample);
 }
 
 TEST(Geometric, GabrielSubgraphIsSubgraph) {

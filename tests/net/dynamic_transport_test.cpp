@@ -1,0 +1,59 @@
+#include "net/dynamic_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+
+namespace uesr::net {
+namespace {
+
+using graph::DynamicGraph;
+using graph::NodeId;
+
+TEST(DynamicTransport, SendsOverCurrentSnapshot) {
+  DynamicGraph g(graph::path(3));  // 0-1-2
+  DynamicTransport tr(g);
+  Arrival a = tr.send(0, 0);
+  EXPECT_EQ(a.node, 1u);
+  EXPECT_EQ(tr.transmissions(), 1u);
+  Arrival b = tr.send(a.node, a.port == 0 ? 1u : 0u);  // out the other port
+  EXPECT_EQ(b.node, 2u);
+  EXPECT_EQ(tr.transmissions(), 2u);
+}
+
+TEST(DynamicTransport, EpochTracksTheGraph) {
+  DynamicGraph g(graph::path(3));
+  DynamicTransport tr(g);
+  EXPECT_EQ(tr.epoch(), 0u);
+  g.add_edge(0, 2);
+  EXPECT_EQ(tr.epoch(), 0u);  // staged edits are invisible
+  g.commit();
+  EXPECT_EQ(tr.epoch(), 1u);
+  EXPECT_TRUE(tr.snapshot().adjacent(0, 2));
+}
+
+TEST(DynamicTransport, StalePortThrowsAfterEpochChange) {
+  DynamicGraph g(graph::path(2));
+  DynamicTransport tr(g);
+  EXPECT_EQ(tr.send(0, 0).node, 1u);
+  g.remove_edge(0, 1);
+  g.commit();
+  // Port 0 of node 0 no longer exists in this epoch.
+  EXPECT_THROW(tr.send(0, 0), std::invalid_argument);
+  EXPECT_EQ(tr.transmissions(), 1u);  // failed send charged nothing
+}
+
+TEST(DynamicTransport, Validation) {
+  DynamicGraph g(graph::cycle(3));
+  DynamicTransport tr(g);
+  EXPECT_THROW(tr.send(9, 0), std::invalid_argument);
+  EXPECT_THROW(tr.send(0, 5), std::invalid_argument);
+  tr.send(0, 0);
+  tr.reset_transmissions();
+  EXPECT_EQ(tr.transmissions(), 0u);
+}
+
+}  // namespace
+}  // namespace uesr::net
