@@ -1,0 +1,114 @@
+// E12 (traffic engine): many simultaneous route sessions over one shared
+// topology — the first experiment where "heavy traffic" is a measured
+// axis, not a metaphor.
+//
+// Shape expected: on static connected rows every session ends in a
+// delivery and certificates are exactly the cross-component pairs; the
+// all-pairs row multiplexes >= 1024 concurrent sessions through one
+// engine; on the churn-overlaid rows every session still terminates with
+// a delivery or an epoch-exact certificate while all sessions share ONE
+// schedule (unlike E11, which replays the schedule per attempt).  p50/p99
+// completion transmissions and latency summarize the per-session cost
+// distribution; `routes/s` and `s` are the only machine-dependent
+// columns.
+//
+// Sessions fan out over the shared threads knob inside
+// core::TrafficEngine; every data cell is bit-identical for any --threads
+// value (pinned by the traffic ThreadInvariance tests).
+// Index row: DESIGN.md §4 / EXPERIMENTS.md (E12) — expected shape lives there.
+#include "bench_common.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/workload.h"
+#include "graph/churn.h"
+#include "graph/generators.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace uesr;
+  const unsigned threads = bench::threads_knob(argc, argv);
+  bench::banner("E12 / traffic engine — concurrent session throughput",
+                "ROADMAP regime: N simultaneous route/broadcast/hybrid "
+                "sessions on one shared transmission clock, each completing "
+                "with its exact per-session certificate");
+  bench::report_threads(threads);
+
+  util::Table t({"workload", "topology", "sessions", "ok", "cert", "exh",
+                 "p50 tx", "p99 tx", "restarts", "routes/s", "s"});
+  const std::uint64_t kSeqSeed = 0x5eed0001;
+
+  auto add_row = [&](const std::string& topology, const std::string& name,
+                     const baselines::TrafficCell& cell, double seconds) {
+    t.row()
+        .cell(name)
+        .cell(topology)
+        .cell(cell.sessions)
+        .cell(cell.delivered)
+        .cell(cell.certified)
+        .cell(cell.exhausted)
+        .cell(cell.p50_tx, 0)
+        .cell(cell.p99_tx, 0)
+        .cell(cell.restarts)
+        .cell(seconds > 0 ? cell.sessions / seconds : 0.0, 0)
+        .cell(seconds, 3);
+  };
+
+  // --- static rows -------------------------------------------------------
+  struct StaticRow {
+    std::string topology;
+    graph::Graph g;
+    baselines::Workload w;
+  };
+  std::vector<StaticRow> rows;
+  rows.push_back({"connected-gnp(48)", graph::connected_gnp(48, 0.12, 19),
+                  baselines::poisson_workload(48, 256, 2.0, 101)});
+  rows.push_back({"grid(8x8)", graph::grid(8, 8),
+                  baselines::hotspot_workload(64, 256, 0, 2.0, 103)});
+  // The N >= 1024 acceptance row: every ordered pair at tick 0.
+  rows.push_back({"connected-gnp(34)", graph::connected_gnp(34, 0.18, 23),
+                  baselines::all_pairs_workload(34)});
+  // Smaller mesh for the mixed row: its broadcasts walk the full T_n of
+  // the reduced graph, which grows ~n'^2 log n'.
+  rows.push_back({"torus(5x5)", graph::torus(5, 5),
+                  baselines::mixed_workload(25, 192, 1.5, 4096, 107)});
+  for (const StaticRow& row : rows) {
+    bench::Timer timer;
+    const baselines::TrafficCell cell =
+        baselines::traffic_experiment(row.g, row.w, kSeqSeed, threads);
+    add_row(row.topology, row.w.name, cell, timer.seconds());
+  }
+
+  // --- churn-overlaid rows (one shared schedule for ALL sessions) --------
+  struct DynamicRow {
+    std::unique_ptr<graph::Scenario> scenario;
+    baselines::Workload w;
+  };
+  std::vector<DynamicRow> dyn;
+  dyn.push_back({std::make_unique<graph::NodeChurnScenario>(
+                     graph::connected_gnp(32, 0.2, 29), /*p_leave=*/0.08,
+                     /*p_join=*/0.5, 109),
+                 baselines::poisson_workload(32, 128, 3.0, 113)});
+  dyn.push_back({std::make_unique<graph::LinkFlapScenario>(
+                     graph::connected_gnp(36, 0.14, 31),
+                     /*flaps_per_epoch=*/3, 127),
+                 baselines::hotspot_workload(36, 128, 0, 3.0, 131)});
+  const std::uint64_t kPeriod = 64;
+  const std::uint64_t kMaxEpochs = 48;
+  for (const DynamicRow& row : dyn) {
+    bench::Timer timer;
+    const baselines::TrafficCell cell = baselines::traffic_experiment(
+        *row.scenario, kPeriod, kMaxEpochs, row.w, kSeqSeed, threads);
+    add_row(row.scenario->name(), row.w.name, cell, timer.seconds());
+  }
+
+  t.print(std::cout);
+  std::cout << "\nok + cert + exh == sessions on every row (each session "
+               "ends with its exact verdict); the all-pairs row multiplexes "
+               ">= 1024 concurrent sessions; restarts appear only on the "
+               "churn-overlaid rows, whose shared schedule is the regime "
+               "E11's per-attempt replays cannot express\n";
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "baselines/workload.h"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "baselines/random_walk.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace uesr::baselines {
+
+using graph::NodeId;
+
+core::WalkerFactory random_walk_factory() {
+  return [](const graph::Graph& g, NodeId s, NodeId t, std::uint64_t ttl,
+            std::uint64_t seed) -> std::unique_ptr<core::TokenWalker> {
+    return std::make_unique<RandomWalkSession>(g, s, t, ttl, seed);
+  };
+}
+
+namespace {
+
+void check_workload_args(NodeId n, int sessions, double mean_interarrival,
+                         const char* who) {
+  if (n < 2) throw std::invalid_argument(std::string(who) + ": n >= 2");
+  if (sessions < 0)
+    throw std::invalid_argument(std::string(who) + ": sessions >= 0");
+  if (!(mean_interarrival >= 0.0))
+    throw std::invalid_argument(std::string(who) +
+                                ": mean_interarrival >= 0");
+}
+
+/// Exponential inter-arrival draw (mean ticks); 0 mean = all at tick 0.
+double exp_draw(util::Pcg32& rng, double mean) {
+  if (mean == 0.0) return 0.0;
+  // 1 - u in (0, 1], so the log argument never hits zero.
+  return -mean * std::log(1.0 - rng.next_double());
+}
+
+NodeId other_than(util::Pcg32& rng, NodeId n, NodeId avoid) {
+  NodeId v = rng.next_below(n);
+  return v == avoid ? (v + 1) % n : v;
+}
+
+}  // namespace
+
+Workload poisson_workload(NodeId n, int sessions, double mean_interarrival,
+                          std::uint64_t seed) {
+  check_workload_args(n, sessions, mean_interarrival, "poisson_workload");
+  util::Pcg32 rng(seed);
+  Workload w;
+  std::ostringstream name;
+  name << "poisson(n=" << n << ",N=" << sessions << ",ia=" << mean_interarrival
+       << ",seed=" << seed << ")";
+  w.name = name.str();
+  double at = 0.0;
+  for (int i = 0; i < sessions; ++i) {
+    at += exp_draw(rng, mean_interarrival);
+    core::SessionSpec spec;
+    spec.kind = core::TrafficKind::kRoute;
+    spec.s = rng.next_below(n);
+    spec.t = other_than(rng, n, spec.s);
+    spec.admit_at = static_cast<std::uint64_t>(at);
+    w.sessions.push_back(spec);
+  }
+  return w;
+}
+
+Workload hotspot_workload(NodeId n, int sessions, NodeId sink,
+                          double mean_interarrival, std::uint64_t seed) {
+  check_workload_args(n, sessions, mean_interarrival, "hotspot_workload");
+  if (sink >= n)
+    throw std::invalid_argument("hotspot_workload: sink out of range");
+  util::Pcg32 rng(seed);
+  Workload w;
+  std::ostringstream name;
+  name << "hotspot(n=" << n << ",N=" << sessions << ",sink=" << sink
+       << ",seed=" << seed << ")";
+  w.name = name.str();
+  double at = 0.0;
+  for (int i = 0; i < sessions; ++i) {
+    at += exp_draw(rng, mean_interarrival);
+    core::SessionSpec spec;
+    spec.kind = core::TrafficKind::kRoute;
+    spec.s = other_than(rng, n, sink);
+    spec.t = sink;
+    spec.admit_at = static_cast<std::uint64_t>(at);
+    w.sessions.push_back(spec);
+  }
+  return w;
+}
+
+Workload all_pairs_workload(NodeId n) {
+  if (n < 2) throw std::invalid_argument("all_pairs_workload: n >= 2");
+  Workload w;
+  std::ostringstream name;
+  name << "all-pairs(n=" << n << ",N=" << (std::uint64_t{n} * (n - 1)) << ")";
+  w.name = name.str();
+  for (NodeId s = 0; s < n; ++s)
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      core::SessionSpec spec;
+      spec.kind = core::TrafficKind::kRoute;
+      spec.s = s;
+      spec.t = t;
+      w.sessions.push_back(spec);
+    }
+  return w;
+}
+
+Workload mixed_workload(NodeId n, int sessions, double mean_interarrival,
+                        std::uint64_t hybrid_ttl, std::uint64_t seed) {
+  check_workload_args(n, sessions, mean_interarrival, "mixed_workload");
+  util::Pcg32 rng(seed);
+  Workload w;
+  std::ostringstream name;
+  name << "mixed(n=" << n << ",N=" << sessions << ",seed=" << seed << ")";
+  w.name = name.str();
+  double at = 0.0;
+  for (int i = 0; i < sessions; ++i) {
+    at += exp_draw(rng, mean_interarrival);
+    core::SessionSpec spec;
+    spec.s = rng.next_below(n);
+    spec.t = other_than(rng, n, spec.s);
+    spec.admit_at = static_cast<std::uint64_t>(at);
+    if (i % 16 == 15) {
+      spec.kind = core::TrafficKind::kBroadcast;
+    } else if (i % 4 == 3) {
+      spec.kind = core::TrafficKind::kHybrid;
+      spec.hybrid_ttl = hybrid_ttl;
+    } else {
+      spec.kind = core::TrafficKind::kRoute;
+    }
+    w.sessions.push_back(spec);
+  }
+  return w;
+}
+
+TrafficCell summarize_traffic(const std::vector<core::SessionReport>& reports,
+                              std::uint64_t final_clock) {
+  TrafficCell cell;
+  cell.final_clock = final_clock;
+  util::Samples tx;
+  for (const core::SessionReport& r : reports) {
+    ++cell.sessions;
+    cell.delivered += r.delivered;
+    cell.certified += r.failure_certified;
+    cell.exhausted += r.exhausted;
+    cell.transmissions += r.transmissions;
+    cell.restarts += r.restarts;
+    if (r.finished) tx.add(static_cast<double>(r.transmissions));
+  }
+  if (tx.count() > 0) {
+    cell.p50_tx = tx.percentile(50.0);
+    cell.p99_tx = tx.percentile(99.0);
+  }
+  return cell;
+}
+
+TrafficCell traffic_experiment(const graph::Graph& g, const Workload& w,
+                               std::uint64_t seq_seed, unsigned threads) {
+  core::TrafficOptions opt;
+  opt.seq_seed = seq_seed;
+  opt.threads = threads;
+  opt.hybrid_walker = random_walk_factory();
+  core::TrafficEngine engine(g, opt);
+  engine.admit_all(w.sessions);
+  engine.run();
+  return summarize_traffic(engine.reports(), engine.clock());
+}
+
+TrafficCell traffic_experiment(const graph::Scenario& scenario,
+                               std::uint64_t epoch_period,
+                               std::uint64_t max_epochs, const Workload& w,
+                               std::uint64_t seq_seed, unsigned threads) {
+  core::TrafficOptions opt;
+  opt.seq_seed = seq_seed;
+  opt.threads = threads;
+  opt.epoch_period = epoch_period;
+  opt.max_epochs = max_epochs;
+  core::TrafficEngine engine(scenario, opt);
+  engine.admit_all(w.sessions);
+  engine.run();
+  return summarize_traffic(engine.reports(), engine.clock());
+}
+
+}  // namespace uesr::baselines

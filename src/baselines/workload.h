@@ -1,0 +1,107 @@
+// Replayable traffic workloads + the E12 report kernel.
+//
+// A Workload is a schedule of core::SessionSpec admissions — who talks to
+// whom, what kind of session, and at which shared-clock tick it arrives.
+// Every generator here is a PURE FUNCTION of its parameters (arrivals,
+// endpoints and kinds all derive from the seed via Pcg32/counter_hash;
+// nothing global), so a workload can be replayed bit-identically: the same
+// call produces the same schedule, which is what lets the ThreadInvariance
+// traffic tests and bench_traffic_throughput rerun one workload at
+// different thread counts and demand identical cells (PR 3 convention).
+//
+// Families, mirroring how traffic actually arrives at a network:
+//   * poisson_workload  — open-arrival unicast: route sessions between
+//     uniform pairs, exponential inter-arrival times (the M/·/· shape the
+//     gossip literature evaluates under).
+//   * hotspot_workload  — every message targets one sink (data collection
+//     at a gateway; the worst case for locality).
+//   * all_pairs_workload — one route session per ordered pair, all at
+//     tick 0: the gossip/closure regime, and the N >= 1024 burst the E12
+//     acceptance row runs.
+//   * mixed_workload    — route/hybrid/broadcast blend on a deterministic
+//     pattern, exercising every lane kind the engine multiplexes.
+//
+// traffic_experiment() admits a workload into a TrafficEngine (static
+// graph or churn-overlaid scenario), runs it, and folds the per-session
+// reports into one TrafficCell — the kernel shared by the E12 bench, the
+// busy_network example, and the traffic ThreadInvariance tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/traffic.h"
+#include "graph/churn.h"
+#include "graph/graph.h"
+
+namespace uesr::baselines {
+
+/// The standard probabilistic token for hybrid traffic: a TTL'd
+/// RandomWalkSession (the Corollary-2 pairing the paper discusses).
+core::WalkerFactory random_walk_factory();
+
+struct Workload {
+  std::string name;
+  std::vector<core::SessionSpec> sessions;
+};
+
+/// `sessions` route sessions between uniform random pairs (s != t);
+/// inter-arrival times are Exp(mean_interarrival) clock ticks.
+Workload poisson_workload(graph::NodeId n, int sessions,
+                          double mean_interarrival, std::uint64_t seed);
+
+/// Poisson arrivals, uniform sources, every session targeting `sink`.
+Workload hotspot_workload(graph::NodeId n, int sessions, graph::NodeId sink,
+                          double mean_interarrival, std::uint64_t seed);
+
+/// One route session per ordered pair (s, t), s != t, all admitted at
+/// tick 0 — n·(n-1) concurrent sessions.
+Workload all_pairs_workload(graph::NodeId n);
+
+/// Poisson arrivals with kinds on a fixed pattern: every 4th session a
+/// Corollary-2 hybrid (token TTL `hybrid_ttl`), every 16th a broadcast,
+/// routes otherwise.
+Workload mixed_workload(graph::NodeId n, int sessions,
+                        double mean_interarrival, std::uint64_t hybrid_ttl,
+                        std::uint64_t seed);
+
+/// One experiment cell: per-session verdicts and latency percentiles
+/// folded in session-id order.  Every field is thread-count invariant
+/// (pinned by the traffic ThreadInvariance tests).
+struct TrafficCell {
+  int sessions = 0;
+  int delivered = 0;
+  int certified = 0;   ///< route failure certificates
+  int exhausted = 0;   ///< hybrid no-verdict terminations
+  std::uint64_t transmissions = 0;  ///< total frames across all sessions
+  std::uint64_t restarts = 0;       ///< dynamic-mode epoch restarts
+  std::uint64_t final_clock = 0;    ///< shared-clock tick the engine drained at
+  /// Per-session completion transmissions (p50/p99 over sessions).  In
+  /// the slotted model these equal per-session latency in clock ticks:
+  /// one slot per frame, and free steps cost nothing (pinned by the
+  /// SharedClockAccounting test).
+  double p50_tx = 0.0;
+  double p99_tx = 0.0;
+
+  friend bool operator==(const TrafficCell&, const TrafficCell&) = default;
+};
+
+/// Folds finished reports (session-id order) into a cell.
+TrafficCell summarize_traffic(const std::vector<core::SessionReport>& reports,
+                              std::uint64_t final_clock);
+
+/// Static topology: admits `w` into a TrafficEngine over `g` and runs it
+/// to completion.  threads: worker lanes (0 = UESR_THREADS / hardware);
+/// the returned cell is bit-identical for any value.
+TrafficCell traffic_experiment(const graph::Graph& g, const Workload& w,
+                               std::uint64_t seq_seed, unsigned threads);
+
+/// Churn-overlaid: the same, over a scenario advancing one epoch every
+/// `epoch_period` ticks for `max_epochs` epochs (then frozen).
+TrafficCell traffic_experiment(const graph::Scenario& scenario,
+                               std::uint64_t epoch_period,
+                               std::uint64_t max_epochs, const Workload& w,
+                               std::uint64_t seq_seed, unsigned threads);
+
+}  // namespace uesr::baselines

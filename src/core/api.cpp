@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "explore/sequence_cache.h"
+
 namespace uesr::core {
 
 AdHocNetwork::AdHocNetwork(const graph::Graph& g, Options options)
@@ -15,7 +17,7 @@ AdHocNetwork::AdHocNetwork(const graph::Graph& g, Options options)
   } else {
     graph::NodeId bound = options_.size_bound.value_or(cubic_n);
     if (bound == 0) bound = 1;
-    sequence_ = explore::standard_ues(bound, options_.seed);
+    sequence_ = explore::cached_standard_ues(bound, options_.seed);
   }
   router_ = std::make_unique<UesRouter>(reduced_, sequence_,
                                         options_.namespace_size);
@@ -42,9 +44,12 @@ AdaptiveRouteResult AdHocNetwork::route_adaptive(graph::NodeId s,
   out.census = count_component(s, mode);
   // CountNodes certified (by neighbourhood closure) that Cs' has exactly
   // gadget_count vertices; size the sequence for that bound.
+  // Learned bounds repeat across calls (same component -> same census), so
+  // identical T_n are served from the process-wide cache instead of being
+  // rebuilt per session.
   auto bound = static_cast<graph::NodeId>(out.census.gadget_count);
-  auto seq = explore::standard_ues(std::max<graph::NodeId>(bound, 1),
-                                   options_.seed ^ 0xada9);
+  auto seq = explore::cached_standard_ues(std::max<graph::NodeId>(bound, 1),
+                                          options_.seed ^ 0xada9);
   UesRouter router(reduced_, seq, options_.namespace_size);
   out.route = router.route(s, t);
   return out;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "explore/sequence_cache.h"
+
 namespace uesr::core {
 
 DynamicRouteSession::DynamicRouteSession(
@@ -27,7 +29,9 @@ void DynamicRouteSession::rebuild() {
   }
   session_epoch_ = transport_->epoch();
   reduced_ = explore::reduce_to_cubic(transport_->snapshot());
-  seq_ = explore::standard_ues(
+  // Concurrent sessions over the same snapshot (and restarts across
+  // epochs that revisit a size) share one T_n via the process-wide cache.
+  seq_ = explore::cached_standard_ues(
       static_cast<graph::NodeId>(reduced_.cubic.num_nodes()),
       options_.seq_seed);
   inner_.emplace(reduced_, *seq_, s_, t_);

@@ -29,24 +29,78 @@ class TokenWalker {
   virtual std::uint64_t transmissions() const = 0;
 };
 
-enum class HybridWinner { kProbabilistic, kGuaranteed, kCertifiedFailure };
+enum class HybridWinner {
+  kProbabilistic,
+  kGuaranteed,
+  kCertifiedFailure,
+  /// Neither side decided: the token exhausted and the guaranteed session
+  /// was already finished when the combiner took over, so no walk the
+  /// combiner itself drove produced a verdict.
+  kExhausted,
+};
 
 struct HybridResult {
   bool delivered = false;
   /// True only when the UES walker finished with a failure certificate:
   /// t is provably not in s's component (given a covering sequence).
   bool certified_unreachable = false;
+  /// True when the protocol terminated with neither a delivery nor a
+  /// certificate: both walkers were done (token exhausted, guaranteed
+  /// session already finished on entry) without deciding.  A stale
+  /// pre-finished session proves nothing about this run, so the honest
+  /// report is "gave up", exactly like a TTL expiry.
+  bool exhausted = false;
   HybridWinner winner = HybridWinner::kCertifiedFailure;
   std::uint64_t probabilistic_transmissions = 0;
   std::uint64_t guaranteed_transmissions = 0;
   std::uint64_t total_transmissions = 0;
 };
 
+/// Resumable execution of the Corollary-2 interleave: each step() advances
+/// the protocol by (at most) one transmission, alternating sides, so a
+/// scheduler multiplexing many sessions (core::TrafficEngine) can drive
+/// hybrids on the same per-transmission clock as everything else.
+///
+/// Termination is unconditional, including for sessions handed over in a
+/// terminal state: a finished guaranteed session is never stepped, an
+/// exhausted token is never stepped, and once *both* sides are immovable
+/// without a delivery the session finishes with `exhausted` set (winner
+/// kExhausted) instead of spinning.  A guaranteed session that finishes
+/// under our own stepping still yields the usual certified failure; one
+/// that was already finished (and undelivered) on entry is stale — it
+/// certifies nothing about this run.
+class HybridSession {
+ public:
+  /// Both sessions must outlive this object.
+  HybridSession(TokenWalker& probabilistic, RouteSession& guaranteed);
+
+  /// One transmission slot (a few bookkeeping-only decisions are free).
+  /// No-op once finished().
+  void step();
+
+  bool finished() const { return finished_; }
+
+  /// The verdict; meaningful once finished().
+  const HybridResult& result() const { return result_; }
+
+ private:
+  enum class Side : std::uint8_t { kProbabilistic, kGuaranteed };
+
+  void finish(HybridWinner winner);
+
+  TokenWalker* probabilistic_;
+  RouteSession* guaranteed_;
+  Side turn_ = Side::kProbabilistic;
+  bool finished_ = false;
+  HybridResult result_;
+};
+
 /// Alternates probabilistic and guaranteed transmissions until the first
 /// of: the probabilistic token delivers; the guaranteed walk reaches t;
-/// the guaranteed walk terminates with a failure certificate.  A token
-/// that exhausts (TTL) simply stops being stepped — the guarantee side
-/// still terminates the protocol.
+/// the guaranteed walk terminates with a failure certificate; or both
+/// walkers are done without delivery (token exhausted + guaranteed session
+/// already finished), in which case the result is `exhausted` and
+/// uncertified.  Equivalent to driving a HybridSession to completion.
 HybridResult route_hybrid(TokenWalker& probabilistic,
                           RouteSession& guaranteed);
 

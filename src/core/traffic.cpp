@@ -1,0 +1,337 @@
+#include "core/traffic.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "core/dynamic_route.h"
+#include "explore/sequence_cache.h"
+#include "net/message.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace uesr::core {
+
+using graph::NodeId;
+
+namespace {
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+}  // namespace
+
+/// Per-session stepper.  step() performs at most one transmission (free
+/// bookkeeping steps exist: the Route terminate step, hybrid decision
+/// checks).  Lanes are state-disjoint: parallel rounds touch each lane
+/// from exactly one worker and the shared topology is read-only.
+struct TrafficEngine::Lane {
+  virtual ~Lane() = default;
+  virtual void step() = 0;
+  virtual bool finished() const = 0;
+  virtual std::uint64_t transmissions() const = 0;
+  /// Writes the verdict fields once finished().
+  virtual void finalize(SessionReport& r) const = 0;
+};
+
+namespace {
+
+/// Static-mode Algorithm Route (or the degenerate s == t delivery).
+struct RouteLane final : TrafficEngine::Lane {
+  std::optional<RouteSession> session;  ///< empty iff s == t
+
+  RouteLane(const explore::ReducedGraph& net,
+            const explore::ExplorationSequence& seq, NodeId s, NodeId t) {
+    if (s != t) session.emplace(net, seq, s, t);
+  }
+  void step() override {
+    if (session) session->step();
+  }
+  bool finished() const override { return !session || session->finished(); }
+  std::uint64_t transmissions() const override {
+    return session ? session->transmissions() : 0;
+  }
+  void finalize(SessionReport& r) const override {
+    r.delivered = !session || session->status() == net::Status::kSuccess;
+    r.failure_certified = !r.delivered;
+  }
+};
+
+/// Static-mode broadcast: one kBroadcast walk plus the cover bitmap
+/// (mirrors UesRouter::broadcast, spread over slots).
+struct BroadcastLane final : TrafficEngine::Lane {
+  RouteSession session;
+  std::vector<char> visited;
+  std::uint64_t distinct = 0;
+
+  BroadcastLane(const explore::ReducedGraph& net,
+                const explore::ExplorationSequence& seq, NodeId s)
+      : session(net, seq, s, net::kNoTarget),
+        visited(net.first_gadget.size(), 0) {
+    visit(s);
+  }
+  void visit(NodeId original) {
+    if (!visited[original]) {
+      visited[original] = 1;
+      ++distinct;
+    }
+  }
+  void step() override {
+    session.step();
+    if (!session.finished()) visit(session.current_original());
+  }
+  bool finished() const override { return session.finished(); }
+  std::uint64_t transmissions() const override {
+    return session.transmissions();
+  }
+  void finalize(SessionReport& r) const override {
+    // A completed broadcast delivered to everything reachable (when the
+    // sequence covers); there is no failure verdict to certify.
+    r.delivered = true;
+    r.distinct_visited = distinct;
+  }
+};
+
+/// Static-mode Corollary-2 hybrid: an injected probabilistic token
+/// interleaved with a guaranteed walk via the resumable HybridSession.
+struct HybridLane final : TrafficEngine::Lane {
+  std::unique_ptr<TokenWalker> prob;
+  RouteSession guar;
+  HybridSession hybrid;
+
+  HybridLane(std::unique_ptr<TokenWalker> walker,
+             const explore::ReducedGraph& net,
+             const explore::ExplorationSequence& seq, NodeId s, NodeId t)
+      : prob(std::move(walker)), guar(net, seq, s, t),
+        hybrid(*prob, guar) {}
+  void step() override { hybrid.step(); }
+  bool finished() const override { return hybrid.finished(); }
+  std::uint64_t transmissions() const override {
+    return prob->transmissions() + guar.transmissions();
+  }
+  void finalize(SessionReport& r) const override {
+    const HybridResult& res = hybrid.result();
+    r.delivered = res.delivered;
+    r.failure_certified = res.certified_unreachable;
+    r.exhausted = res.exhausted;
+  }
+};
+
+/// Dynamic-mode Algorithm Route: restarts on epoch changes (§2.8); the
+/// verdict is exact for completion_epoch.
+struct DynamicRouteLane final : TrafficEngine::Lane {
+  DynamicRouteSession session;
+
+  DynamicRouteLane(const net::DynamicTransport& transport, NodeId s,
+                   NodeId t, std::uint64_t seq_seed)
+      : session(transport, s, t, {seq_seed}) {}
+  void step() override { session.step(); }
+  bool finished() const override { return session.finished(); }
+  std::uint64_t transmissions() const override {
+    return session.transmissions();
+  }
+  void finalize(SessionReport& r) const override {
+    r.delivered = session.delivered();
+    r.failure_certified = session.failure_certified();
+    r.restarts = session.restarts();
+    r.completion_epoch = session.completion_epoch();
+  }
+};
+
+}  // namespace
+
+struct TrafficEngine::PoolHolder {
+  util::ThreadPool pool;
+  explicit PoolHolder(unsigned threads) : pool(threads) {}
+};
+
+TrafficEngine::TrafficEngine(const graph::Graph& g, TrafficOptions options)
+    : options_(options), graph_(&g), reduced_(explore::reduce_to_cubic(g)) {
+  if (options_.batch == 0)
+    throw std::invalid_argument("TrafficEngine: batch >= 1");
+  seq_ = explore::cached_standard_ues(
+      std::max<NodeId>(reduced_.cubic.num_nodes(), 1), options_.seq_seed);
+  pool_ = std::make_unique<PoolHolder>(options_.threads);
+}
+
+TrafficEngine::TrafficEngine(const graph::Scenario& scenario,
+                             TrafficOptions options)
+    : options_(options), scenario_(scenario.fresh()) {
+  if (options_.batch == 0)
+    throw std::invalid_argument("TrafficEngine: batch >= 1");
+  if (options_.max_epochs > 0 && options_.epoch_period == 0)
+    throw std::invalid_argument("TrafficEngine: epoch_period >= 1");
+  dynamic_graph_ =
+      std::make_unique<graph::DynamicGraph>(scenario_->initial());
+  transport_ = std::make_unique<net::DynamicTransport>(*dynamic_graph_);
+  next_epoch_tick_ = options_.epoch_period;
+  pool_ = std::make_unique<PoolHolder>(options_.threads);
+}
+
+TrafficEngine::~TrafficEngine() = default;
+
+std::uint64_t TrafficEngine::epoch() const {
+  return dynamic_graph_ ? dynamic_graph_->epoch() : 0;
+}
+
+std::size_t TrafficEngine::admit(const SessionSpec& spec) {
+  const NodeId n =
+      graph_ ? graph_->num_nodes() : dynamic_graph_->num_nodes();
+  if (spec.s >= n)
+    throw std::invalid_argument("TrafficEngine::admit: source out of range");
+  if (spec.kind != TrafficKind::kBroadcast && spec.t >= n)
+    throw std::invalid_argument("TrafficEngine::admit: target out of range");
+  if (dynamic() && spec.kind != TrafficKind::kRoute)
+    throw std::invalid_argument(
+        "TrafficEngine::admit: dynamic mode multiplexes route sessions "
+        "only (broadcast/hybrid semantics are per-epoch)");
+  if (spec.kind == TrafficKind::kHybrid && !options_.hybrid_walker)
+    throw std::invalid_argument(
+        "TrafficEngine::admit: kHybrid needs TrafficOptions::hybrid_walker "
+        "(e.g. baselines::random_walk_factory())");
+  if (spec.admit_at < clock_)
+    throw std::invalid_argument(
+        "TrafficEngine::admit: admit_at is in the past");
+  const std::size_t id = reports_.size();
+  SessionReport r;
+  r.kind = spec.kind;
+  r.s = spec.s;
+  r.t = spec.kind == TrafficKind::kBroadcast ? net::kNoTarget : spec.t;
+  r.admitted_at = spec.admit_at;
+  reports_.push_back(r);
+  lanes_.push_back(nullptr);  // built at activation (dynamic lanes must
+                              // see the epoch they arrive in)
+  specs_.push_back(spec);
+  pending_.push_back(id);
+  ++unfinished_;
+  return id;
+}
+
+void TrafficEngine::admit_all(const std::vector<SessionSpec>& specs) {
+  for (const SessionSpec& s : specs) admit(s);
+}
+
+void TrafficEngine::activate_arrivals() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const std::size_t id = pending_[i];
+    if (reports_[id].admitted_at > clock_) {
+      pending_[kept++] = id;
+      continue;
+    }
+    const SessionSpec& spec = specs_[id];
+    if (dynamic()) {
+      lanes_[id] = std::make_unique<DynamicRouteLane>(
+          *transport_, spec.s, spec.t, options_.seq_seed);
+    } else {
+      switch (spec.kind) {
+        case TrafficKind::kRoute:
+          lanes_[id] =
+              std::make_unique<RouteLane>(reduced_, *seq_, spec.s, spec.t);
+          break;
+        case TrafficKind::kBroadcast:
+          lanes_[id] = std::make_unique<BroadcastLane>(reduced_, *seq_,
+                                                       spec.s);
+          break;
+        case TrafficKind::kHybrid:
+          lanes_[id] = std::make_unique<HybridLane>(
+              options_.hybrid_walker(
+                  *graph_, spec.s, spec.t, spec.hybrid_ttl,
+                  util::counter_hash(options_.walker_seed, id)),
+              reduced_, *seq_, spec.s, spec.t);
+          break;
+      }
+    }
+    active_.push_back(id);
+  }
+  pending_.resize(kept);
+  std::sort(active_.begin(), active_.end());
+}
+
+std::uint64_t TrafficEngine::ticks_to_epoch() const {
+  if (!dynamic() || epochs_done_ >= options_.max_epochs) return kNever;
+  return next_epoch_tick_ - clock_;
+}
+
+void TrafficEngine::advance_epochs_to(std::uint64_t tick) {
+  while (dynamic() && epochs_done_ < options_.max_epochs &&
+         next_epoch_tick_ <= tick) {
+    scenario_->advance(*dynamic_graph_);
+    ++epochs_done_;
+    next_epoch_tick_ += options_.epoch_period;
+  }
+}
+
+std::size_t TrafficEngine::run_round() {
+  advance_epochs_to(clock_);
+  activate_arrivals();
+  if (active_.empty()) {
+    if (pending_.empty()) return unfinished_;
+    // Idle gap: fast-forward to the next arrival, crossing any scenario
+    // epochs scheduled in between.
+    std::uint64_t next = kNever;
+    for (std::size_t id : pending_)
+      next = std::min(next, reports_[id].admitted_at);
+    clock_ = next;
+    advance_epochs_to(clock_);
+    activate_arrivals();
+  }
+  // Round length: the batch, clamped so no session steps across a
+  // scenario-epoch boundary or past a not-yet-admitted arrival.
+  std::uint64_t slots = options_.batch;
+  slots = std::min(slots, ticks_to_epoch());
+  for (std::size_t id : pending_)
+    slots = std::min(slots, reports_[id].admitted_at - clock_);
+
+  util::ThreadPool& pool = pool_->pool;
+  const std::uint64_t n = active_.size();
+  util::parallel_for(
+      pool, n, util::default_chunk(n, pool.size()),
+      [&](const util::ChunkRange& c) {
+        for (std::uint64_t i = c.begin; i < c.end; ++i) {
+          const std::size_t id = active_[static_cast<std::size_t>(i)];
+          Lane& lane = *lanes_[id];
+          std::uint64_t used = 0;
+          // Free steps (terminate, hybrid decisions) never repeat
+          // unboundedly, but cap total step calls defensively; the cap
+          // is a constant, so reports stay thread-count invariant.
+          std::uint64_t calls = 2 * slots + 8;
+          while (!lane.finished() && used < slots && calls-- > 0) {
+            const std::uint64_t before = lane.transmissions();
+            lane.step();
+            used += lane.transmissions() - before;
+          }
+          if (lane.finished()) {
+            SessionReport& r = reports_[id];
+            r.finished = true;
+            r.transmissions = lane.transmissions();
+            r.completed_at = clock_ + used;
+            lane.finalize(r);
+          }
+        }
+      });
+  clock_ += slots;
+  // Serial sweep in id order: retire finished lanes, free their state.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const std::size_t id = active_[i];
+    if (reports_[id].finished) {
+      lanes_[id].reset();
+      --unfinished_;
+    } else {
+      active_[kept++] = id;
+    }
+  }
+  active_.resize(kept);
+  return unfinished_;
+}
+
+void TrafficEngine::run() {
+  while (unfinished_ > 0) run_round();
+}
+
+const SessionReport& TrafficEngine::report(std::size_t id) const {
+  if (id >= reports_.size())
+    throw std::out_of_range("TrafficEngine::report: bad session id");
+  return reports_[id];
+}
+
+}  // namespace uesr::core

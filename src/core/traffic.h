@@ -1,0 +1,205 @@
+// The traffic engine: N concurrent route / broadcast / hybrid sessions
+// multiplexed over ONE shared topology on ONE shared transmission clock.
+//
+// Everything below this layer serves a single message end to end; the
+// ROADMAP regime — heavy traffic from many users — is many messages in
+// flight at once over the same (possibly churning) network, the setting
+// the gossip literature (PAPERS.md) evaluates protocols in.  TrafficEngine
+// supplies that regime without touching any per-node protocol logic:
+//
+//   * Time is slotted.  One clock tick = one transmission slot in which
+//     every in-flight session may send one frame (spatially concurrent
+//     radio slots; sessions never contend for airtime in this model, they
+//     share fate only through the topology).  A session admitted at
+//     `admit_at` transmits its k-th frame no earlier than tick
+//     admit_at + k - 1; its completion tick is exact.
+//   * Sessions are admitted up front (admit()) and stepped round-robin in
+//     batched chunks: each round gives every active session up to
+//     `batch` transmission slots, fanned out over a util::ThreadPool.
+//     Sessions are state-disjoint (each owns its walker; the topology is
+//     read-only during a round), per-session randomness is derived from
+//     the session id (counter_hash — never a shared stream), and reports
+//     are collected in session-id order, so every report is BIT-IDENTICAL
+//     for any thread count (the PR 3 convention).
+//   * Each session completes with its exact per-session verdict: route
+//     sessions deliver or carry the §2.4 failure certificate, broadcasts
+//     report their cover, hybrids end with the Corollary-2 verdict
+//     (including the `exhausted` no-verdict state the livelock fix
+//     introduced).  Static-mode certificates are statements about the one
+//     shared graph; dynamic-mode certificates are statements about
+//     `completion_epoch` (§2.8), with the usual §3 universality caveat.
+//   * Dynamic mode replays a graph::Scenario on the shared clock: the
+//     topology advances one scenario epoch every `epoch_period` ticks (up
+//     to `max_epochs`, then freezes — so every session terminates).
+//     Epochs commit strictly BETWEEN rounds; rounds are clamped to epoch
+//     boundaries, so all sessions observe the same epoch for every slot of
+//     a round.  Unlike baselines::ChurnRouter (which replays the schedule
+//     per attempt for fair per-attempt comparisons), all sessions here
+//     live through one shared schedule — the production shape.
+//
+// Identical exploration sequences are shared, not rebuilt, across
+// sessions via explore::SequenceCache (static mode builds one T_n for the
+// whole engine; dynamic restarts hit the cache per epoch size).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/route.h"
+#include "explore/degree_reduce.h"
+#include "explore/sequence.h"
+#include "graph/churn.h"
+#include "graph/dynamic.h"
+#include "graph/graph.h"
+#include "net/dynamic_transport.h"
+
+namespace uesr::core {
+
+enum class TrafficKind : std::uint8_t { kRoute, kBroadcast, kHybrid };
+
+/// One admission request.  Pure data, so workload generators
+/// (baselines/workload.h) can produce replayable schedules of them.
+struct SessionSpec {
+  TrafficKind kind = TrafficKind::kRoute;
+  graph::NodeId s = 0;
+  graph::NodeId t = 0;         ///< ignored for kBroadcast
+  std::uint64_t admit_at = 0;  ///< clock tick the session arrives at
+  /// kHybrid only: TTL of the probabilistic token (0 = unlimited).
+  std::uint64_t hybrid_ttl = 0;
+};
+
+struct SessionReport {
+  TrafficKind kind = TrafficKind::kRoute;
+  graph::NodeId s = 0;
+  graph::NodeId t = 0;
+  bool finished = false;
+  bool delivered = false;
+  /// Route: a full failed walk completed (certificate; §3 caveat).
+  /// Never set for broadcasts or for hybrid exhaustion.
+  bool failure_certified = false;
+  /// Hybrid only: both sides done without a verdict (see hybrid.h).
+  bool exhausted = false;
+  std::uint64_t transmissions = 0;
+  std::uint64_t admitted_at = 0;
+  std::uint64_t completed_at = 0;  ///< clock tick of completion
+  /// Broadcast only: distinct original nodes the payload visited.
+  std::uint64_t distinct_visited = 0;
+  /// Dynamic mode only: epoch restarts and the epoch the verdict is about.
+  std::uint64_t restarts = 0;
+  std::uint64_t completion_epoch = 0;
+};
+
+/// Builds the probabilistic token of a kHybrid session.  The seed is
+/// derived per session id (counter_hash(walker_seed, id)); the factory
+/// must be a pure function of its arguments for reports to stay
+/// replayable.  core itself ships no concrete walker (that would invert
+/// the layer graph); baselines::random_walk_factory() supplies the
+/// standard TTL'd random walk.
+using WalkerFactory = std::function<std::unique_ptr<TokenWalker>(
+    const graph::Graph& g, graph::NodeId s, graph::NodeId t,
+    std::uint64_t ttl, std::uint64_t seed)>;
+
+struct TrafficOptions {
+  std::uint64_t seq_seed = 0x5eed0001;  ///< T_n family seed
+  /// Hybrid token streams: session id's walker is seeded
+  /// counter_hash(walker_seed, id) — thread-count invariant by construction.
+  std::uint64_t walker_seed = 0x7a11;
+  /// Required to admit kHybrid sessions (admit() throws otherwise).
+  WalkerFactory hybrid_walker;
+  /// Transmission slots granted per active session per round.  Purely a
+  /// scheduling granularity: reports never depend on it, except that in
+  /// dynamic mode rounds clamp to epoch boundaries anyway.
+  std::uint64_t batch = 64;
+  /// Worker lanes (0 = UESR_THREADS env, else hardware).  Data cells are
+  /// bit-identical for any value.
+  unsigned threads = 1;
+  /// Dynamic mode: clock ticks per scenario epoch (>= 1) and schedule
+  /// length; ignored in static mode.
+  std::uint64_t epoch_period = 64;
+  std::uint64_t max_epochs = 0;
+};
+
+class TrafficEngine {
+ public:
+  /// Static mode: all sessions share `g` (which must outlive the engine),
+  /// one degree reduction, and one cached T_n sized for it.
+  explicit TrafficEngine(const graph::Graph& g, TrafficOptions options = {});
+
+  /// Dynamic mode: the engine owns a fresh replay of `scenario` and
+  /// advances it on the shared clock.  Route sessions only (broadcast and
+  /// hybrid semantics are not defined under epoch restarts; admit()
+  /// throws for them).
+  TrafficEngine(const graph::Scenario& scenario, TrafficOptions options);
+
+  ~TrafficEngine();
+  TrafficEngine(const TrafficEngine&) = delete;
+  TrafficEngine& operator=(const TrafficEngine&) = delete;
+
+  /// Admits one session; returns its id (dense, in admission order).
+  /// `admit_at` must be >= clock() (no admissions into the past).
+  std::size_t admit(const SessionSpec& spec);
+  void admit_all(const std::vector<SessionSpec>& specs);
+
+  /// Runs one scheduling round: activates arrivals, grants every active
+  /// session up to `batch` slots (in parallel), advances the clock and —
+  /// in dynamic mode — the scenario.  When no session is active the clock
+  /// fast-forwards to the next arrival.  Returns the number of admitted
+  /// sessions not yet finished.
+  std::size_t run_round();
+
+  /// Rounds until every admitted session finished.
+  void run();
+
+  struct Lane;  ///< per-session stepper (defined in traffic.cpp)
+
+  std::uint64_t clock() const { return clock_; }
+  /// Dynamic mode: the committed epoch of the shared topology (0 static).
+  std::uint64_t epoch() const;
+  bool dynamic() const { return transport_ != nullptr; }
+
+  std::size_t session_count() const { return reports_.size(); }
+  std::size_t unfinished_count() const { return unfinished_; }
+  const SessionReport& report(std::size_t id) const;
+  /// All reports, indexed by session id (finished flag says which are
+  /// complete); bit-identical for any thread count once run() returned.
+  const std::vector<SessionReport>& reports() const { return reports_; }
+
+ private:
+  void activate_arrivals();
+  /// Clock ticks until the next scenario epoch (dynamic), or forever.
+  std::uint64_t ticks_to_epoch() const;
+  void advance_epochs_to(std::uint64_t tick);
+
+  TrafficOptions options_;
+
+  // Static mode: the shared network; one reduction + one shared sequence.
+  const graph::Graph* graph_ = nullptr;
+  explore::ReducedGraph reduced_;
+  std::shared_ptr<const explore::ExplorationSequence> seq_;
+
+  // Dynamic mode: an owned scenario replay on the shared clock.
+  std::unique_ptr<graph::Scenario> scenario_;
+  std::unique_ptr<graph::DynamicGraph> dynamic_graph_;
+  std::unique_ptr<net::DynamicTransport> transport_;
+  std::uint64_t epochs_done_ = 0;
+  std::uint64_t next_epoch_tick_ = 0;
+
+  std::uint64_t clock_ = 0;
+  std::vector<std::unique_ptr<Lane>> lanes_;  ///< indexed by session id
+  std::vector<SessionReport> reports_;        ///< indexed by session id
+  std::vector<SessionSpec> specs_;            ///< indexed by session id
+  /// Ids of admitted-not-yet-activated sessions, in admission order (NOT
+  /// sorted by admit_at): activation and the round-length clamp scan the
+  /// whole list each round, and lanes are built in ascending id order
+  /// among the due ids, so activation stays deterministic.
+  std::vector<std::size_t> pending_;
+  std::vector<std::size_t> active_;  ///< ids being stepped, ascending
+  std::size_t unfinished_ = 0;
+  struct PoolHolder;  ///< hides util/parallel.h from this header
+  std::unique_ptr<PoolHolder> pool_;
+};
+
+}  // namespace uesr::core

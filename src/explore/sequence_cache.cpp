@@ -1,0 +1,64 @@
+#include "explore/sequence_cache.h"
+
+namespace uesr::explore {
+
+std::shared_ptr<const ExplorationSequence> SequenceCache::standard(
+    graph::NodeId n, std::uint64_t seed) {
+  return get("standard", n, seed, [&] { return standard_ues(n, seed); });
+}
+
+std::shared_ptr<const ExplorationSequence> SequenceCache::get(
+    const std::string& family, graph::NodeId size_bound, std::uint64_t seed,
+    const std::function<std::shared_ptr<const ExplorationSequence>()>&
+        build) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto [it, inserted] =
+      entries_.try_emplace(Key{family, seed, size_bound}, nullptr);
+  if (inserted) {
+    ++misses_;
+    // Built under the lock so a key is built exactly once; builders are
+    // cheap (counter-based families store no symbols).
+    try {
+      it->second = build();
+    } catch (...) {
+      entries_.erase(it);  // never cache a failed build as a null hit
+      throw;
+    }
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+std::size_t SequenceCache::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return entries_.size();
+}
+
+std::uint64_t SequenceCache::hits() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return hits_;
+}
+
+std::uint64_t SequenceCache::misses() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return misses_;
+}
+
+void SequenceCache::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  entries_.clear();
+  hits_ = misses_ = 0;
+}
+
+SequenceCache& SequenceCache::global() {
+  static SequenceCache cache;
+  return cache;
+}
+
+std::shared_ptr<const ExplorationSequence> cached_standard_ues(
+    graph::NodeId n, std::uint64_t seed) {
+  return SequenceCache::global().standard(n, seed);
+}
+
+}  // namespace uesr::explore

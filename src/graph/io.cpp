@@ -25,9 +25,13 @@ Graph from_edge_list(const std::string& text) {
   NodeId n = 0;
   if (!(is >> magic >> n) || magic != "uesr-graph")
     throw std::invalid_argument("from_edge_list: bad header");
+  constexpr const char* kSpace = " \t\r";
+  std::string line;
+  std::getline(is, line);  // remainder of the header line
+  if (line.find_first_not_of(kSpace) != std::string::npos)
+    throw std::invalid_argument("from_edge_list: junk after header: '" +
+                                line + "'");
   std::vector<std::vector<HalfEdge>> adj(n);
-  NodeId v, w;
-  Port p, q;
   auto place = [&](NodeId a, Port ap, HalfEdge far) {
     if (a >= n) throw std::invalid_argument("from_edge_list: node out of range");
     if (adj[a].size() <= ap) adj[a].resize(ap + 1, HalfEdge{a, Port(~0u)});
@@ -35,7 +39,22 @@ Graph from_edge_list(const std::string& text) {
       throw std::invalid_argument("from_edge_list: duplicate half-edge");
     adj[a][ap] = far;
   };
-  while (is >> v >> p >> w >> q) {
+  // One record per line, parsed line-by-line so EOF is distinguishable
+  // from junk: the old `is >> v >> p >> w >> q` loop stopped silently on
+  // the first parse failure, turning a truncated or corrupted record into
+  // an accepted prefix.
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of(kSpace) == std::string::npos) continue;
+    std::istringstream ls(line);
+    NodeId v, w;
+    Port p, q;
+    if (!(ls >> v >> p >> w >> q))
+      throw std::invalid_argument("from_edge_list: malformed line: '" +
+                                  line + "'");
+    ls >> std::ws;
+    if (!ls.eof())
+      throw std::invalid_argument("from_edge_list: trailing junk on line: '" +
+                                  line + "'");
     place(v, p, {w, q});
     if (HalfEdge{v, p} != HalfEdge{w, q}) place(w, q, {v, p});
   }

@@ -34,23 +34,38 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
+  // Full-token parse: stoll alone would silently accept trailing garbage
+  // ("--trials=100k" used to read as 100), so require every character to
+  // be consumed.
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
   try {
-    return std::stoll(it->second);
+    value = std::stoll(it->second, &consumed);
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " is not an integer: " +
                                 it->second);
   }
+  if (consumed != it->second.size())
+    throw std::invalid_argument("flag --" + name +
+                                " has trailing characters: " + it->second);
+  return value;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return def;
+  std::size_t consumed = 0;
+  double value = 0.0;
   try {
-    return std::stod(it->second);
+    value = std::stod(it->second, &consumed);
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " is not a number: " +
                                 it->second);
   }
+  if (consumed != it->second.size())
+    throw std::invalid_argument("flag --" + name +
+                                " has trailing characters: " + it->second);
+  return value;
 }
 
 bool Cli::get_bool(const std::string& name, bool def) const {

@@ -1,0 +1,141 @@
+#include "baselines/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "graph/churn.h"
+#include "graph/generators.h"
+
+namespace uesr::baselines {
+namespace {
+
+using core::SessionSpec;
+using core::TrafficKind;
+using graph::NodeId;
+
+bool same_schedule(const Workload& a, const Workload& b) {
+  if (a.sessions.size() != b.sessions.size()) return false;
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    const SessionSpec& x = a.sessions[i];
+    const SessionSpec& y = b.sessions[i];
+    if (x.kind != y.kind || x.s != y.s || x.t != y.t ||
+        x.admit_at != y.admit_at || x.hybrid_ttl != y.hybrid_ttl)
+      return false;
+  }
+  return true;
+}
+
+TEST(Workload, PoissonIsAPureFunctionOfItsSeed) {
+  Workload a = poisson_workload(20, 64, 3.0, 42);
+  Workload b = poisson_workload(20, 64, 3.0, 42);
+  EXPECT_TRUE(same_schedule(a, b));
+  Workload c = poisson_workload(20, 64, 3.0, 43);
+  EXPECT_FALSE(same_schedule(a, c));
+}
+
+TEST(Workload, PoissonArrivalsAreMonotoneAndValid) {
+  Workload w = poisson_workload(16, 100, 2.5, 7);
+  ASSERT_EQ(w.sessions.size(), 100u);
+  std::uint64_t last = 0;
+  for (const SessionSpec& s : w.sessions) {
+    EXPECT_GE(s.admit_at, last);
+    last = s.admit_at;
+    EXPECT_LT(s.s, 16u);
+    EXPECT_LT(s.t, 16u);
+    EXPECT_NE(s.s, s.t);
+    EXPECT_EQ(s.kind, TrafficKind::kRoute);
+  }
+  EXPECT_GT(last, 0u);  // arrivals actually spread out
+}
+
+TEST(Workload, HotspotTargetsTheSink) {
+  Workload w = hotspot_workload(12, 40, 5, 1.0, 9);
+  for (const SessionSpec& s : w.sessions) {
+    EXPECT_EQ(s.t, 5u);
+    EXPECT_NE(s.s, 5u);
+    EXPECT_LT(s.s, 12u);
+  }
+}
+
+TEST(Workload, AllPairsEnumeratesEveryOrderedPairAtTickZero) {
+  Workload w = all_pairs_workload(7);
+  EXPECT_EQ(w.sessions.size(), 42u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const SessionSpec& s : w.sessions) {
+    EXPECT_NE(s.s, s.t);
+    EXPECT_EQ(s.admit_at, 0u);
+    seen.insert({s.s, s.t});
+  }
+  EXPECT_EQ(seen.size(), 42u);  // all distinct
+}
+
+TEST(Workload, MixedBlendsAllThreeKinds) {
+  Workload w = mixed_workload(10, 64, 1.5, 128, 3);
+  int routes = 0, hybrids = 0, broadcasts = 0;
+  for (const SessionSpec& s : w.sessions) {
+    switch (s.kind) {
+      case TrafficKind::kRoute: ++routes; break;
+      case TrafficKind::kHybrid:
+        ++hybrids;
+        EXPECT_EQ(s.hybrid_ttl, 128u);
+        break;
+      case TrafficKind::kBroadcast: ++broadcasts; break;
+    }
+  }
+  EXPECT_GT(routes, 0);
+  EXPECT_GT(hybrids, 0);
+  EXPECT_GT(broadcasts, 0);
+  EXPECT_EQ(routes + hybrids + broadcasts, 64);
+}
+
+TEST(Workload, Validation) {
+  EXPECT_THROW(poisson_workload(1, 4, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(poisson_workload(8, -1, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(poisson_workload(8, 4, -1.0, 1), std::invalid_argument);
+  EXPECT_THROW(hotspot_workload(8, 4, 9, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(all_pairs_workload(1), std::invalid_argument);
+}
+
+TEST(TrafficExperiment, StaticCellShapeIsSane) {
+  graph::Graph g = graph::from_edges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {5, 6}, {6, 7}});
+  Workload w = mixed_workload(8, 32, 2.0, 64, 5);
+  TrafficCell cell = traffic_experiment(g, w, 0x5eed0001, 1);
+  EXPECT_EQ(cell.sessions, 32);
+  // Every session terminated with some verdict (deliveries include
+  // broadcasts; 4 is disconnected from {5,6,7} and {0..3}).
+  EXPECT_EQ(cell.delivered + cell.certified + cell.exhausted, 32);
+  EXPECT_GT(cell.transmissions, 0u);
+  EXPECT_GE(cell.p99_tx, cell.p50_tx);
+  EXPECT_GT(cell.final_clock, 0u);
+}
+
+// The E12 determinism contract for the churn-overlaid kernel.
+TEST(ThreadInvariance, ChurnOverlaidTrafficExperiment) {
+  graph::NodeChurnScenario sc(graph::connected_gnp(16, 0.25, 3),
+                              /*p_leave=*/0.1, /*p_join=*/0.5, 13);
+  Workload w = poisson_workload(16, 48, 4.0, 21);
+  const TrafficCell base =
+      traffic_experiment(sc, /*epoch_period=*/48, /*max_epochs=*/16, w,
+                         0x5eed0001, /*threads=*/1);
+  EXPECT_EQ(base.sessions, 48);
+  EXPECT_EQ(base.delivered + base.certified, 48);
+  for (unsigned t : {4u, 8u})
+    EXPECT_EQ(base, traffic_experiment(sc, 48, 16, w, 0x5eed0001, t))
+        << "threads=" << t;
+}
+
+TEST(ThreadInvariance, StaticMixedTrafficExperiment) {
+  graph::Graph g = graph::torus(4, 4);
+  Workload w = mixed_workload(16, 96, 1.0, 256, 17);
+  const TrafficCell base = traffic_experiment(g, w, 0x5eed0001, 1);
+  EXPECT_EQ(base.sessions, 96);
+  for (unsigned t : {4u, 8u})
+    EXPECT_EQ(base, traffic_experiment(g, w, 0x5eed0001, t))
+        << "threads=" << t;
+}
+
+}  // namespace
+}  // namespace uesr::baselines

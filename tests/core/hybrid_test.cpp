@@ -93,7 +93,110 @@ TEST(Hybrid, SourceEqualsTargetImmediate) {
   RouteSession guar(f.net, *f.seq, 2, 2);
   HybridResult r = route_hybrid(prob, guar);
   EXPECT_TRUE(r.delivered);
+  EXPECT_FALSE(r.exhausted);
   EXPECT_EQ(r.total_transmissions, 0u);
+}
+
+// Regression: both walkers done without delivery used to livelock — with
+// the probabilistic token exhausted and the guaranteed session already
+// finished on entry, the old for(;;) had no branch that could break.  The
+// session must terminate exhausted and uncertified: a stale pre-finished
+// walk proves nothing about this run.
+TEST(Hybrid, ExhaustedTokenPlusPrefinishedSessionTerminates) {
+  graph::Graph g = graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  HybridFixture f(g);
+  RouteSession guar(f.net, *f.seq, 0, 4);
+  while (!guar.finished()) guar.step();  // completed failed walk
+  const std::uint64_t guar_tx = guar.transmissions();
+  baselines::RandomWalkSession prob(f.g, 0, 4, /*ttl=*/8, 3);
+  while (!prob.exhausted()) prob.step();
+  HybridResult r = route_hybrid(prob, guar);  // pre-fix: never returns
+  EXPECT_FALSE(r.delivered);
+  EXPECT_FALSE(r.certified_unreachable);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.winner, HybridWinner::kExhausted);
+  // Neither side was stepped again: the combiner spent nothing.
+  EXPECT_EQ(r.guaranteed_transmissions, guar_tx);
+  EXPECT_EQ(r.probabilistic_transmissions, 8u);
+  EXPECT_EQ(r.total_transmissions,
+            r.probabilistic_transmissions + r.guaranteed_transmissions);
+}
+
+// The degree-0 mirror of random_walk_test's isolated-source case: a
+// stranded token (exhausts at zero cost, whatever the TTL) must not stall
+// the combiner — the guaranteed walker alone finishes with a certificate.
+TEST(Hybrid, StrandedTokenOnIsolatedSourceStillCertifies) {
+  graph::Graph g = graph::GraphBuilder(3).build();  // three isolated nodes
+  HybridFixture f(g);
+  baselines::RandomWalkSession prob(f.g, 0, 2, /*ttl=*/0, 17);
+  RouteSession guar(f.net, *f.seq, 0, 2);
+  HybridResult r = route_hybrid(prob, guar);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_TRUE(r.certified_unreachable);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_EQ(r.winner, HybridWinner::kCertifiedFailure);
+  EXPECT_EQ(r.probabilistic_transmissions, 0u);  // no phantom frames
+}
+
+// Satellite edge case: the token exhausts first, then the guaranteed walk
+// completes a failed walk under the combiner's own stepping — that is a
+// fresh certificate, not an exhaustion.
+TEST(Hybrid, ExhaustedTokenThenCertifiedFailure) {
+  graph::Graph g = graph::from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {4, 5}});
+  HybridFixture f(g);
+  baselines::RandomWalkSession prob(f.g, 0, 4, /*ttl=*/3, 5);
+  RouteSession guar(f.net, *f.seq, 0, 4);
+  HybridResult r = route_hybrid(prob, guar);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_TRUE(r.certified_unreachable);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_LE(r.probabilistic_transmissions, 3u);
+  EXPECT_EQ(r.total_transmissions,
+            r.probabilistic_transmissions + r.guaranteed_transmissions);
+}
+
+// A session handed over already delivered reports a guaranteed win at zero
+// extra cost.
+TEST(Hybrid, PrefinishedDeliveredSessionWinsImmediately) {
+  HybridFixture f(graph::grid(3, 3));
+  RouteSession guar(f.net, *f.seq, 0, 8);
+  while (!guar.finished()) guar.step();
+  ASSERT_TRUE(guar.target_reached());
+  const std::uint64_t guar_tx = guar.transmissions();
+  baselines::RandomWalkSession prob(f.g, 0, 8, /*ttl=*/4, 9);
+  HybridResult r = route_hybrid(prob, guar);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.winner, HybridWinner::kGuaranteed);
+  EXPECT_EQ(r.guaranteed_transmissions, guar_tx);
+  EXPECT_EQ(r.probabilistic_transmissions, 0u);
+}
+
+// The resumable face of the combiner: stepping a HybridSession by hand
+// advances at most one transmission per step and lands on the same verdict
+// and accounting as the one-shot driver.
+TEST(HybridSession, StepwiseMatchesOneShot) {
+  HybridFixture f(graph::lollipop(4, 6));
+  baselines::RandomWalkSession prob_a(f.g, 0, 9, 0, 21);
+  RouteSession guar_a(f.net, *f.seq, 0, 9);
+  HybridResult one_shot = route_hybrid(prob_a, guar_a);
+
+  baselines::RandomWalkSession prob_b(f.g, 0, 9, 0, 21);
+  RouteSession guar_b(f.net, *f.seq, 0, 9);
+  HybridSession session(prob_b, guar_b);
+  std::uint64_t steps = 0;
+  std::uint64_t last_total = 0;
+  while (!session.finished()) {
+    session.step();
+    std::uint64_t total =
+        prob_b.transmissions() + guar_b.transmissions();
+    EXPECT_LE(total, last_total + 1);  // at most one transmission per step
+    last_total = total;
+    ASSERT_LT(++steps, 10'000'000u);
+  }
+  EXPECT_EQ(session.result().delivered, one_shot.delivered);
+  EXPECT_EQ(session.result().winner, one_shot.winner);
+  EXPECT_EQ(session.result().total_transmissions,
+            one_shot.total_transmissions);
 }
 
 }  // namespace

@@ -1,0 +1,106 @@
+#include "explore/sequence_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace uesr::explore {
+namespace {
+
+TEST(SequenceCache, MissThenHitReturnsIdenticalObject) {
+  SequenceCache cache;
+  auto a = cache.standard(16, 1);
+  auto b = cache.standard(16, 1);
+  EXPECT_EQ(a.get(), b.get());  // the same object, not an equal copy
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SequenceCache, DistinctKeysDistinctObjects) {
+  SequenceCache cache;
+  auto a = cache.standard(16, 1);
+  auto b = cache.standard(16, 2);   // other seed
+  auto c = cache.standard(17, 1);   // other bound
+  auto d = cache.get("other-family", 16, 1, [] { return standard_ues(16, 1); });
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SequenceCache, CachedSequenceBitIdenticalToFreshlyBuilt) {
+  SequenceCache cache;
+  auto cached = cache.standard(12, 0x5eed0001);
+  auto fresh = standard_ues(12, 0x5eed0001);
+  ASSERT_EQ(cached->length(), fresh->length());
+  EXPECT_EQ(cached->target_size(), fresh->target_size());
+  EXPECT_EQ(cached->name(), fresh->name());
+  const std::uint64_t probe =
+      std::min<std::uint64_t>(cached->length(), 4096);
+  std::vector<Symbol> a(probe), b(probe);
+  cached->fill(1, probe, a.data());
+  fresh->fill(1, probe, b.data());
+  EXPECT_EQ(a, b);
+  // And spot-check the tail, where a length mismatch would hide.
+  EXPECT_EQ(cached->symbol(cached->length()), fresh->symbol(fresh->length()));
+}
+
+TEST(SequenceCache, ClearResetsEverything) {
+  SequenceCache cache;
+  cache.standard(8, 3);
+  cache.standard(8, 3);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  auto again = cache.standard(8, 3);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_NE(again, nullptr);
+}
+
+TEST(SequenceCache, FailedBuildIsNotCached) {
+  SequenceCache cache;
+  EXPECT_THROW(
+      cache.get("bad", 8, 1,
+                []() -> std::shared_ptr<const ExplorationSequence> {
+                  throw std::runtime_error("builder failed");
+                }),
+      std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  // The key is retried, not served as a cached null.
+  auto ok = cache.get("bad", 8, 1, [] { return standard_ues(8, 1); });
+  EXPECT_NE(ok, nullptr);
+}
+
+TEST(SequenceCache, GlobalSharesOneInstance) {
+  auto a = cached_standard_ues(24, 0xabc);
+  auto b = SequenceCache::global().standard(24, 0xabc);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+// Lookups race from parallel session lanes in the traffic engine; every
+// lane asking for the same key must get the same object (exercised under
+// the tsan CI job).
+TEST(SequenceCache, ConcurrentLookupsAgree) {
+  SequenceCache cache;
+  util::ThreadPool pool(8);
+  constexpr std::uint64_t kLookups = 256;
+  std::vector<const ExplorationSequence*> seen(kLookups, nullptr);
+  util::parallel_for(pool, kLookups, 8, [&](const util::ChunkRange& c) {
+    for (std::uint64_t i = c.begin; i < c.end; ++i)
+      seen[i] = cache.standard(10 + (i % 3), 7).get();
+  });
+  for (std::uint64_t i = 0; i < kLookups; ++i)
+    EXPECT_EQ(seen[i], cache.standard(10 + (i % 3), 7).get()) << i;
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+}  // namespace
+}  // namespace uesr::explore

@@ -62,6 +62,40 @@ TEST(Io, RejectsPortGap) {
                std::invalid_argument);
 }
 
+// Regression: the old `is >> v >> p >> w >> q` loop stopped silently at
+// the first parse failure, so a corrupted or truncated record was
+// accepted as a valid prefix of the graph.
+TEST(Io, RejectsJunkToken) {
+  try {
+    from_edge_list("uesr-graph 2\n0 0 1 0\nxyz 0 1 1\n");
+    FAIL() << "junk record accepted";
+  } catch (const std::invalid_argument& e) {
+    // The error names the offending line.
+    EXPECT_NE(std::string(e.what()).find("xyz 0 1 1"), std::string::npos);
+  }
+}
+
+TEST(Io, RejectsTruncatedRecord) {
+  EXPECT_THROW(from_edge_list("uesr-graph 2\n0 0 1 0\n1 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Io, RejectsTrailingJunkOnRecord) {
+  EXPECT_THROW(from_edge_list("uesr-graph 2\n0 0 1 0 extra\n"),
+               std::invalid_argument);
+}
+
+TEST(Io, RejectsJunkAfterHeader) {
+  EXPECT_THROW(from_edge_list("uesr-graph 2 huh\n0 0 1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(Io, AcceptsBlankLinesAndMissingFinalNewline) {
+  Graph g = from_edge_list("uesr-graph 2\n\n0 0 1 0\n\n  \n0 1 1 1");
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
 TEST(Io, DotOutputContainsEdges) {
   Graph g = from_edges(3, {{0, 1}, {1, 2}});
   std::string dot = to_dot(g, "T");

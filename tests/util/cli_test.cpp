@@ -47,6 +47,28 @@ TEST(Cli, BadIntegerThrows) {
   EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);
 }
 
+// Regression: std::stoll parses the longest valid prefix, so
+// "--trials=100k" used to silently read as 100; a partially consumed
+// token must throw instead.
+TEST(Cli, TrailingGarbageOnIntegerThrows) {
+  EXPECT_THROW(make({"--trials=100k"}).get_int("trials", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--n=42 "}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--n=1.5"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--n=0x10"}).get_int("n", 0), std::invalid_argument);
+  // Full tokens still parse, signs included.
+  EXPECT_EQ(make({"--n=-7"}).get_int("n", 0), -7);
+}
+
+TEST(Cli, TrailingGarbageOnDoubleThrows) {
+  EXPECT_THROW(make({"--radius=0.25m"}).get_double("radius", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--radius=1e3x"}).get_double("radius", 0.0),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(make({"--radius=1e3"}).get_double("radius", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(make({"--radius=-0.5"}).get_double("radius", 0.0), -0.5);
+}
+
 TEST(Cli, BadBoolThrows) {
   Cli c = make({"--flag=maybe"});
   EXPECT_THROW(c.get_bool("flag", false), std::invalid_argument);
