@@ -1,0 +1,77 @@
+#include "core/lossy_route.h"
+
+#include <stdexcept>
+
+namespace uesr::core {
+
+using graph::NodeId;
+using net::Direction;
+using net::Kind;
+using net::Status;
+
+LossyRouteSession::LossyRouteSession(const explore::ReducedGraph& net,
+                                     const explore::ExplorationSequence& seq,
+                                     NodeId s, NodeId t,
+                                     LossyRouteOptions options)
+    : net_(&net),
+      seq_(&seq),
+      transport_(net.cubic, options.net_seed, options.link, options.reliable) {
+  const auto n_orig = static_cast<NodeId>(net.first_gadget.size());
+  if (s >= n_orig)
+    throw std::invalid_argument("LossyRouteSession: source out of range");
+  if (t != net::kNoTarget && t >= n_orig)
+    throw std::invalid_argument("LossyRouteSession: target out of range");
+  header_.kind = t == net::kNoTarget ? Kind::kBroadcast : Kind::kRoute;
+  header_.source = s;
+  header_.target = t;
+  start_gadget_ = net.entry_gadget(s);
+}
+
+void LossyRouteSession::step() {
+  if (finished()) return;
+  if (!injected_) {
+    // Injection: s sends along d_0 = (start, port 0); consumes no symbol.
+    net::ReliableOutcome out = transport_.send(start_gadget_, 0);
+    if (!out.delivered) {
+      verdict_ = LossyVerdict::kUncertified;
+      return;
+    }
+    at_ = out.arrival;
+    injected_ = true;
+    ++hops_;
+    if (header_.kind == Kind::kRoute &&
+        net_->original_of[at_.node] == header_.target)
+      target_reached_ = true;
+    return;
+  }
+  const NodeView view{net_->original_of[at_.node],
+                      net_->cubic.degree(at_.node)};
+  NodeDecision d = route_node_step(view, at_.port, header_, *seq_);
+  header_ = d.header;
+  if (d.terminate) {
+    verdict_ = d.final_status == Status::kSuccess
+                   ? LossyVerdict::kDelivered
+                   : LossyVerdict::kFailureCertified;
+    return;
+  }
+  net::ReliableOutcome out = transport_.send(at_.node, d.out_port);
+  if (!out.delivered) {
+    // Retry budget spent mid-walk: the chain of custody is broken and the
+    // session asserts nothing (see header comment — the data or its ack
+    // may be the lost half).
+    verdict_ = LossyVerdict::kUncertified;
+    return;
+  }
+  at_ = out.arrival;
+  ++hops_;
+  if (header_.dir == Direction::kForward && header_.kind == Kind::kRoute &&
+      net_->original_of[at_.node] == header_.target)
+    target_reached_ = true;
+}
+
+LossyVerdict LossyRouteSession::run() {
+  while (!finished()) step();
+  return verdict_;
+}
+
+}  // namespace uesr::core

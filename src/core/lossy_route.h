@@ -1,0 +1,110 @@
+// Algorithm Route over an asynchronous lossy channel — and exactly what
+// its certificates still mean there (DESIGN.md §2.10).
+//
+// The per-node logic is untouched: LossyRouteSession drives the same pure
+// `route_node_step` as the perfect-link RouteSession, but every hop goes
+// through net::ReliableTransport's stop-and-wait transfer instead of a
+// guaranteed Transport::send.  Because a reliable transfer either proves
+// exactly-once far-end processing or admits ignorance, the session's walk,
+// whenever it completes, is BIT-IDENTICAL to the lossless walk — and the
+// verdicts partition into three cases with exact semantics:
+//
+//   * kDelivered        — every forward hop and every backward-confirmation
+//                         hop was acked: t really processed the payload and
+//                         s holds the proof.  SOUND under any loss /
+//                         duplication / one-sided-link regime.
+//   * kFailureCertified — a full walk exhausted its sequence and rewound to
+//                         s, every hop acked: the §2.4 certificate stands
+//                         exactly as on perfect links (t provably not in
+//                         s's component, universality caveat as ever).
+//                         SOUND whenever emitted — loss can only make it
+//                         rarer, never wrong.
+//   * kUncertified      — some hop spent its retry budget.  The sender
+//                         side knows nothing (the two-generals gap: the
+//                         data or its ack may be the lost half), so the
+//                         session asserts nothing — NOT a failure
+//                         certificate.  This is the degradation bounded
+//                         retransmission buys: certificates stay sound,
+//                         they just stop being guaranteed-available.
+//
+// Cost: with retry budget R, a walk of h hops spends at most
+// (R + 1) * h DATA copies plus the acks — the bounded-retransmit overhead
+// E13 measures against flooding and gossip.
+#pragma once
+
+#include <cstdint>
+
+#include "core/route.h"
+#include "explore/degree_reduce.h"
+#include "explore/sequence.h"
+#include "net/reliable.h"
+
+namespace uesr::core {
+
+enum class LossyVerdict : std::uint8_t {
+  kInProgress,
+  kDelivered,
+  kFailureCertified,
+  kUncertified,
+};
+
+struct LossyRouteOptions {
+  net::LinkModel link{};            ///< default channel model of every link
+  net::ReliableOptions reliable{};  ///< retry budget / timeout / backoff
+  std::uint64_t net_seed = 0x5eed0006;  ///< channel randomness
+};
+
+/// Resumable lossy routing: each step() performs one stop-and-wait hop (or
+/// the free terminate step that ends a walk).
+class LossyRouteSession {
+ public:
+  /// `net` and `seq` must outlive the session (the same contract as
+  /// RouteSession); t == net::kNoTarget broadcasts.
+  LossyRouteSession(const explore::ReducedGraph& net,
+                    const explore::ExplorationSequence& seq, graph::NodeId s,
+                    graph::NodeId t, LossyRouteOptions options = {});
+
+  /// One reliable hop.  No-op once finished().
+  void step();
+  /// Drives to completion and returns the verdict.
+  LossyVerdict run();
+
+  bool finished() const { return verdict_ != LossyVerdict::kInProgress; }
+  LossyVerdict verdict() const { return verdict_; }
+  bool delivered() const { return verdict_ == LossyVerdict::kDelivered; }
+  bool failure_certified() const {
+    return verdict_ == LossyVerdict::kFailureCertified;
+  }
+  bool uncertified() const { return verdict_ == LossyVerdict::kUncertified; }
+
+  /// The forward walk reached t (even if the confirmation later aborted —
+  /// an uncertified session may still have delivered the payload; only the
+  /// PROOF is missing).
+  bool target_reached() const { return target_reached_; }
+
+  /// Successful link transfers (== the lossless walk's transmissions, when
+  /// the session completes).
+  std::uint64_t hops() const { return hops_; }
+  /// Every DATA/ACK copy put on the wire, lost and duplicate-spawning
+  /// copies included.
+  std::uint64_t wire_frames() const { return transport_.frames(); }
+
+  /// The reliability layer (and through it the simulator), for per-link
+  /// model overrides and one-sided flips BEFORE stepping.
+  net::ReliableTransport& transport() { return transport_; }
+  const net::ReliableTransport& transport() const { return transport_; }
+
+ private:
+  const explore::ReducedGraph* net_;
+  const explore::ExplorationSequence* seq_;
+  net::ReliableTransport transport_;
+  net::Header header_;
+  net::Arrival at_{};
+  graph::NodeId start_gadget_ = 0;
+  bool injected_ = false;
+  bool target_reached_ = false;
+  LossyVerdict verdict_ = LossyVerdict::kInProgress;
+  std::uint64_t hops_ = 0;
+};
+
+}  // namespace uesr::core

@@ -1,0 +1,19 @@
+#include "net/lossy_transport.h"
+
+namespace uesr::net {
+
+std::optional<Arrival> LossyTransport::send(graph::NodeId from,
+                                            graph::Port out_port) {
+  const std::uint64_t frame = next_frame_++;
+  sim_.send(from, out_port, frame);
+  while (auto ev = sim_.next()) {
+    if (ev->kind != SimEventKind::kArrival) continue;  // stray timer
+    // Late duplicates of earlier frames may still be in flight; only this
+    // frame's first copy resolves the call.
+    if (ev->frame_id != frame) continue;
+    return Arrival{ev->node, ev->port};
+  }
+  return std::nullopt;
+}
+
+}  // namespace uesr::net

@@ -1,0 +1,61 @@
+// Transport-shaped facade over the lossy event simulator — the UNRELIABLE
+// layer.
+//
+// LossyTransport keeps net::Transport's send-semantics (one call moves one
+// frame across the edge at (from, out_port) and reports the far-end
+// arrival) but serves it from an EventSim channel, so the frame can be
+// late, duplicated, or never arrive at all: send() returns nullopt when the
+// channel ate the frame.  At loss = 0, dup = 0 and a constant latency the
+// facade replays net::Transport exactly — same arrival sequence, same
+// transmission count (pinned by property test P9).
+//
+// Sessions that need Transport's unconditional delivery on top of a lossy
+// channel go through net/reliable.h instead; this class exists for
+// protocols that tolerate loss natively (flooding, gossip) and as the
+// equivalence anchor between the perfect and lossy worlds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/sim.h"
+#include "net/transport.h"
+
+namespace uesr::net {
+
+class LossyTransport {
+ public:
+  /// The graph must outlive the transport.
+  LossyTransport(const graph::Graph& g, std::uint64_t seed,
+                 LinkModel defaults = {})
+      : sim_(g, seed, defaults) {}
+
+  /// Transmits across the edge at (from, out_port) and drives the
+  /// simulator until that frame arrives (first copy wins when the channel
+  /// duplicated it).  Returns nullopt when the frame was lost — the caller
+  /// learns nothing about the far end, exactly like a real radio.  Counts
+  /// one transmission either way.
+  std::optional<Arrival> send(graph::NodeId from, graph::Port out_port);
+
+  /// Fire-and-forget variant: schedules the frame and returns immediately;
+  /// arrivals surface through sim().next().
+  void send_async(graph::NodeId from, graph::Port out_port,
+                  std::uint64_t frame_id) {
+    sim_.send(from, out_port, frame_id);
+  }
+
+  std::uint64_t transmissions() const { return sim_.transmissions(); }
+
+  /// The underlying simulator, for per-link model overrides, one-sided
+  /// connectivity flips, and trace capture.
+  EventSim& sim() { return sim_; }
+  const EventSim& sim() const { return sim_; }
+
+  const graph::Graph& graph() const { return sim_.graph(); }
+
+ private:
+  EventSim sim_;
+  std::uint64_t next_frame_ = 0;
+};
+
+}  // namespace uesr::net

@@ -1,0 +1,80 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uesr::net {
+
+namespace {
+
+// Frame ids: transfer k's DATA is 2k, its ACK 2k + 1 — distinct across the
+// simulator's lifetime, so late copies of finished transfers are
+// recognizably stale.
+std::uint64_t data_id(std::uint64_t k) { return 2 * k; }
+std::uint64_t ack_id(std::uint64_t k) { return 2 * k + 1; }
+// Timer ids carry (transfer, attempt) so a stale attempt's timer is inert.
+std::uint64_t timer_id(std::uint64_t k, std::uint32_t attempt) {
+  return (k << 16) | attempt;
+}
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(const graph::Graph& g, std::uint64_t seed,
+                                     LinkModel defaults,
+                                     ReliableOptions options)
+    : sim_(g, seed, defaults), options_(options) {
+  if (options_.rto == 0)
+    throw std::invalid_argument("ReliableTransport: rto must be > 0");
+  if (options_.rto_max < options_.rto)
+    throw std::invalid_argument("ReliableTransport: rto_max < rto");
+  if (options_.max_retries >= 0xffff)
+    throw std::invalid_argument("ReliableTransport: max_retries too large");
+}
+
+ReliableOutcome ReliableTransport::send(graph::NodeId from,
+                                        graph::Port out_port) {
+  const std::uint64_t k = transfers_++;
+  ReliableOutcome out;
+  std::uint32_t attempt = 0;
+  SimTime rto = options_.rto;
+  sim_.send(from, out_port, data_id(k));
+  ++out.data_copies;
+  sim_.set_timer(rto, timer_id(k, attempt));
+  while (auto ev = sim_.next()) {
+    if (ev->kind == SimEventKind::kTimer) {
+      // Only the CURRENT attempt's timer of THIS transfer retransmits;
+      // timers of earlier attempts (or earlier transfers) are inert.
+      if (ev->timer_id != timer_id(k, attempt)) continue;
+      if (attempt >= options_.max_retries) break;  // budget spent: give up
+      ++attempt;
+      rto = std::min(rto * 2, options_.rto_max);
+      sim_.send(from, out_port, data_id(k));
+      ++out.data_copies;
+      sim_.set_timer(rto, timer_id(k, attempt));
+      continue;
+    }
+    if (ev->frame_id == data_id(k)) {
+      // A copy reached the far end.  The receiver acks every copy (acks
+      // can be lost) but processes only the first — exactly-once by
+      // transfer id.
+      if (!out.data_arrived) {
+        out.data_arrived = true;
+        out.arrival = Arrival{ev->node, ev->port};
+      }
+      sim_.send(ev->node, ev->port, ack_id(k));
+      ++out.ack_copies;
+      continue;
+    }
+    if (ev->frame_id == ack_id(k)) {
+      // Any ack of this transfer confirms it; in-flight stragglers stay
+      // queued and are recognizably stale to later transfers.
+      out.delivered = true;
+      return out;
+    }
+    // Late copy of a finished transfer: the endpoint logic that owned it
+    // is closed — dropped on the floor, never re-acked.
+  }
+  return out;
+}
+
+}  // namespace uesr::net

@@ -1,0 +1,87 @@
+// Stop-and-wait ack/retransmit layer over the lossy event simulator.
+//
+// The classic frame protocol (SNIPPETS.md's stop-and-wait send/recv queues,
+// reduced to its invariant): the sender puts one DATA frame on the wire,
+// arms a retransmission timer, and resends with exponential backoff until
+// an ACK returns or the retry budget is spent; the receiver acks EVERY
+// copy it sees (acks get lost too) but the transfer id dedups processing
+// to exactly once.  The result is the strongest one-hop contract a lossy
+// channel admits:
+//
+//   * delivered == true   — the far end provably received and processed
+//                           the frame exactly once (an ack made it back).
+//   * delivered == false  — the budget is spent and the sender KNOWS
+//                           NOTHING: the frame may or may not have arrived
+//                           (the ack may be the lost half — the two-
+//                           generals gap).  `data_arrived` reports the
+//                           ground truth the simulator happens to know,
+//                           for soundness tests only; no protocol on the
+//                           sender side may read it.
+//
+// This is what lets sessions written against Transport's send-semantics
+// run unchanged over loss: a reliable send that returns an Arrival means
+// exactly what Transport::send's return means, and a failed one aborts the
+// session into the "uncertified after budget" verdict (DESIGN.md §2.10).
+//
+// Model note: stop-and-wait needs O(1) bits of LINK-layer state per
+// in-flight transfer (the open transfer id and the pending frame).  The
+// ROUTING layer above stays stateless — nodes still store nothing between
+// messages; the paper's model constrains the routing layer, not the radio.
+#pragma once
+
+#include <cstdint>
+
+#include "net/sim.h"
+#include "net/transport.h"
+
+namespace uesr::net {
+
+struct ReliableOptions {
+  /// Retransmissions after the initial copy; the wire sees at most
+  /// max_retries + 1 DATA copies per transfer.  Must be < 2^16 - 1.
+  std::uint32_t max_retries = 8;
+  /// Initial retransmission timeout (virtual time units); must be > 0.
+  SimTime rto = 8;
+  /// Backoff ceiling: the timeout doubles per retry, clamped here.
+  SimTime rto_max = 1024;
+};
+
+/// What one stop-and-wait transfer accomplished.
+struct ReliableOutcome {
+  bool delivered = false;     ///< acked: exactly-once far-end processing
+  bool data_arrived = false;  ///< simulator ground truth (tests only)
+  Arrival arrival{};          ///< far end; valid when data_arrived
+  std::uint32_t data_copies = 0;  ///< DATA frames put on the wire
+  std::uint32_t ack_copies = 0;   ///< ACK frames put on the wire
+};
+
+class ReliableTransport {
+ public:
+  /// The graph must outlive the transport.  Throws on invalid options.
+  ReliableTransport(const graph::Graph& g, std::uint64_t seed,
+                    LinkModel defaults = {}, ReliableOptions options = {});
+
+  /// One stop-and-wait transfer across the edge at (from, out_port),
+  /// blocking in VIRTUAL time: drives the simulator until the transfer is
+  /// acked or the retry budget is spent.  Every DATA and ACK copy counts
+  /// one wire transmission (lost copies included — they were really sent).
+  ReliableOutcome send(graph::NodeId from, graph::Port out_port);
+
+  /// Completed send() calls so far (delivered or not).
+  std::uint64_t transfers() const { return transfers_; }
+  /// Total wire frames (DATA + ACK copies, lost ones included).
+  std::uint64_t frames() const { return sim_.transmissions(); }
+
+  const ReliableOptions& options() const { return options_; }
+
+  /// The underlying simulator, for per-link overrides and one-sided flips.
+  EventSim& sim() { return sim_; }
+  const EventSim& sim() const { return sim_; }
+
+ private:
+  EventSim sim_;
+  ReliableOptions options_;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace uesr::net

@@ -1,0 +1,166 @@
+#include "net/sim.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace uesr::net {
+
+using graph::NodeId;
+using graph::Port;
+
+namespace {
+
+void validate_model(const LinkModel& m, const char* who) {
+  if (m.latency_max < m.latency_min)
+    throw std::invalid_argument(std::string(who) +
+                                ": latency_max < latency_min");
+  if (m.loss < 0.0 || m.loss > 1.0)
+    throw std::invalid_argument(std::string(who) + ": loss outside [0, 1]");
+  if (m.dup < 0.0 || m.dup > 1.0)
+    throw std::invalid_argument(std::string(who) + ": dup outside [0, 1]");
+}
+
+SimTime draw_latency(const LinkModel& m, util::Pcg32& rng) {
+  const SimTime span = m.latency_max - m.latency_min;
+  if (span == 0) return m.latency_min;
+  // Spans beyond 32 bits never occur in practice; clamp defensively.
+  const auto bound = static_cast<std::uint32_t>(
+      span >= 0xffffffffULL ? 0xffffffffUL : span + 1);
+  return m.latency_min + rng.next_below(bound);
+}
+
+}  // namespace
+
+EventSim::EventSim(const graph::Graph& g, std::uint64_t seed,
+                   LinkModel defaults)
+    : graph_(&g), seed_(seed), default_model_(defaults) {
+  validate_model(defaults, "EventSim");
+  offsets_.resize(g.num_nodes() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    offsets_[v + 1] = offsets_[v] + g.degree(v);
+  models_.resize(offsets_.back());
+  down_.resize(offsets_.back(), false);
+}
+
+void EventSim::check_half_edge(NodeId u, Port p, const char* who) const {
+  if (u >= graph_->num_nodes())
+    throw std::invalid_argument(std::string(who) + ": node out of range");
+  if (p >= graph_->degree(u))
+    throw std::invalid_argument(std::string(who) + ": port out of range");
+}
+
+void EventSim::set_link_model(NodeId u, Port p, const LinkModel& m) {
+  check_half_edge(u, p, "EventSim::set_link_model");
+  validate_model(m, "EventSim::set_link_model");
+  models_[link_id(u, p)] = m;
+}
+
+const LinkModel& EventSim::link_model(NodeId u, Port p) const {
+  check_half_edge(u, p, "EventSim::link_model");
+  const auto& o = models_[link_id(u, p)];
+  return o ? *o : default_model_;
+}
+
+void EventSim::set_link_up(NodeId u, Port p, bool up) {
+  check_half_edge(u, p, "EventSim::set_link_up");
+  down_[link_id(u, p)] = !up;
+}
+
+bool EventSim::link_up(NodeId u, Port p) const {
+  check_half_edge(u, p, "EventSim::link_up");
+  return !down_[link_id(u, p)];
+}
+
+void EventSim::record(std::string line) {
+  if (trace_.size() < trace_limit_) trace_.push_back(std::move(line));
+}
+
+void EventSim::push(SimTime at, SimEvent ev) {
+  ev.time = at;
+  ev.seq = next_seq_++;
+  queue_.push(Queued{at, ev.seq, ev});
+}
+
+void EventSim::send(NodeId from, Port out_port, std::uint64_t frame_id) {
+  check_half_edge(from, out_port, "EventSim::send");
+  const std::uint64_t link = link_id(from, out_port);
+  const std::uint64_t event = next_send_++;
+  ++transmissions_;
+  auto stamp = [&](const char* outcome) {
+    if (trace_limit_ == 0) return;
+    record("S t=" + std::to_string(now_) + " ev=" + std::to_string(event) +
+           " link=" + std::to_string(from) + "." + std::to_string(out_port) +
+           " f=" + std::to_string(frame_id) + " " + outcome);
+  };
+  if (down_[link]) {  // transmitting into a dead direction: nothing receives
+    ++frames_lost_;
+    stamp("down");
+    return;
+  }
+  const LinkModel& m = models_[link] ? *models_[link] : default_model_;
+  // Per-(link, event) stream: the schedule is a pure function of the seed
+  // and the call sequence (ROADMAP's deterministic-replay contract).  Draw
+  // order is fixed: loss, latency, dup, dup-latency.
+  util::Pcg32 rng(util::counter_hash(util::counter_hash(seed_, link), event));
+  if (m.loss > 0.0 && rng.next_double() < m.loss) {
+    ++frames_lost_;
+    stamp("lost");
+    return;
+  }
+  const graph::HalfEdge far = graph_->rotate(from, out_port);
+  SimEvent ev;
+  ev.kind = SimEventKind::kArrival;
+  ev.node = far.node;
+  ev.port = far.port;
+  ev.from = from;
+  ev.from_port = out_port;
+  ev.frame_id = frame_id;
+  push(now_ + draw_latency(m, rng), ev);
+  stamp("sent");
+  if (m.dup > 0.0 && rng.next_double() < m.dup) {
+    ++frames_duplicated_;
+    ev.duplicate = true;
+    push(now_ + draw_latency(m, rng), ev);
+    stamp("dup");
+  }
+}
+
+void EventSim::set_timer(SimTime delay, std::uint64_t timer_id) {
+  SimEvent ev;
+  ev.kind = SimEventKind::kTimer;
+  ev.timer_id = timer_id;
+  push(now_ + delay, ev);
+}
+
+std::optional<SimEvent> EventSim::next() {
+  while (!queue_.empty()) {
+    Queued q = queue_.top();
+    queue_.pop();
+    now_ = q.time;
+    SimEvent& ev = q.event;
+    if (ev.kind == SimEventKind::kArrival &&
+        down_[link_id(ev.from, ev.from_port)]) {
+      // The direction died while the frame was in flight.
+      ++frames_died_;
+      if (trace_limit_ != 0) record("D " + to_string(ev));
+      continue;
+    }
+    if (trace_limit_ != 0) record("E " + to_string(ev));
+    return ev;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(const SimEvent& ev) {
+  std::string s = "t=" + std::to_string(ev.time) +
+                  " seq=" + std::to_string(ev.seq);
+  if (ev.kind == SimEventKind::kTimer)
+    return s + " timer id=" + std::to_string(ev.timer_id);
+  return s + " arr node=" + std::to_string(ev.node) + " port=" +
+         std::to_string(ev.port) + " from=" + std::to_string(ev.from) + "." +
+         std::to_string(ev.from_port) + " f=" + std::to_string(ev.frame_id) +
+         (ev.duplicate ? " dup" : "");
+}
+
+}  // namespace uesr::net

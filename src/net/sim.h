@@ -1,0 +1,174 @@
+// Deterministic event-driven simulator of an asynchronous lossy network.
+//
+// Everything above this layer (Transport, DynamicTransport, TrafficEngine)
+// runs on a synchronous slotted clock over perfect links; the paper's
+// setting is the opposite — frames are late, lost, duplicated, and links
+// die one direction at a time.  EventSim supplies that regime while keeping
+// the repo's deterministic-replay contract (ROADMAP): the whole schedule is
+// a PURE FUNCTION of (seed, API-call sequence).
+//
+//   * The event queue is a binary heap keyed (time, seq), where seq is the
+//     push-order counter — ties never depend on heap internals or pointer
+//     values, so two process runs pop identical sequences.
+//   * Every channel draw for transmission #k over directed link l comes
+//     from Pcg32(counter_hash(counter_hash(seed, l), k)) — per-(link,
+//     event) streams, never a shared one (the PR 3 RNG convention), so a
+//     replay that re-issues the same sends re-draws the same losses,
+//     latencies and duplicates.
+//
+// Channel model, per DIRECTED link (departure half-edge (u, out_port); the
+// reverse direction (v, in_port) is an independent link):
+//   * latency uniform in [latency_min, latency_max] time units;
+//   * loss: each frame independently dropped with probability `loss`;
+//   * duplication: a surviving frame spawns a second, independently-delayed
+//     copy with probability `dup` (the copy is flagged `duplicate`);
+//   * up/down: set_link_up(u, p, false) kills the u->v direction ONLY
+//     (hnetd's one-sided net_sim_set_connected flip).  Frames sent into a
+//     down link are lost at departure; frames already in flight when the
+//     link goes down die mid-flight (dropped at their delivery instant).
+//
+// EventSim moves frames and timers; it owns no protocol logic.  The
+// unreliable Transport facade is net/lossy_transport.h, the stop-and-wait
+// ack/retransmit layer is net/reliable.h, and the certificate semantics of
+// routing over all of this is DESIGN.md §2.10.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "net/transport.h"
+
+namespace uesr::net {
+
+/// Virtual time: abstract units; only ordering and sums matter.
+using SimTime = std::uint64_t;
+
+/// Channel model of one directed link (and the construction-time default).
+struct LinkModel {
+  SimTime latency_min = 1;  ///< inclusive lower latency bound (>= 0)
+  SimTime latency_max = 1;  ///< inclusive upper bound (>= latency_min)
+  double loss = 0.0;        ///< P(frame dropped), in [0, 1]
+  double dup = 0.0;         ///< P(second copy delivered), in [0, 1]
+};
+
+enum class SimEventKind : std::uint8_t { kArrival, kTimer };
+
+/// One popped event.  For kArrival, (node, port) is where the frame lands
+/// and (from, from_port) the departure half-edge it was sent on; frame_id
+/// is the sender's tag, `duplicate` marks a channel-made extra copy.
+struct SimEvent {
+  SimEventKind kind = SimEventKind::kArrival;
+  SimTime time = 0;
+  std::uint64_t seq = 0;  ///< push-order id (the heap tiebreak)
+  graph::NodeId node = 0;
+  graph::Port port = 0;
+  graph::NodeId from = 0;
+  graph::Port from_port = 0;
+  std::uint64_t frame_id = 0;
+  bool duplicate = false;
+  std::uint64_t timer_id = 0;
+};
+
+class EventSim {
+ public:
+  /// The graph must outlive the simulator.  `defaults` applies to every
+  /// directed link until overridden; throws on an invalid model.
+  EventSim(const graph::Graph& g, std::uint64_t seed, LinkModel defaults = {});
+
+  const graph::Graph& graph() const { return *graph_; }
+  std::uint64_t seed() const { return seed_; }
+  /// Virtual clock: the time of the last popped event.
+  SimTime now() const { return now_; }
+
+  /// Overrides the channel model of the directed link departing (u, p).
+  void set_link_model(graph::NodeId u, graph::Port p, const LinkModel& m);
+  const LinkModel& link_model(graph::NodeId u, graph::Port p) const;
+
+  /// One-sided connectivity flip: disables/enables ONLY the direction
+  /// departing (u, p).  In-flight frames of a downed direction die
+  /// mid-flight.
+  void set_link_up(graph::NodeId u, graph::Port p, bool up);
+  bool link_up(graph::NodeId u, graph::Port p) const;
+
+  /// Puts one frame on the directed link (from, out_port) at now().
+  /// Counts one transmission unconditionally — lost frames were really
+  /// sent.  The channel then draws loss / latency / duplication from the
+  /// (seed, link, event)-keyed stream.
+  void send(graph::NodeId from, graph::Port out_port, std::uint64_t frame_id);
+
+  /// Schedules a timer event at now() + delay carrying `timer_id`.
+  void set_timer(SimTime delay, std::uint64_t timer_id);
+
+  /// Pops the next deliverable event in (time, seq) order, advancing
+  /// now().  Frames whose link direction is down at their delivery instant
+  /// die silently (counted in frames_died_midflight) and the scan
+  /// continues.  Returns nullopt when the queue is empty.
+  std::optional<SimEvent> next();
+
+  /// Events (arrivals + timers) still queued.
+  std::size_t pending() const { return queue_.size(); }
+
+  // --- wire accounting ----------------------------------------------------
+  std::uint64_t transmissions() const { return transmissions_; }
+  std::uint64_t frames_lost() const { return frames_lost_; }
+  std::uint64_t frames_duplicated() const { return frames_duplicated_; }
+  std::uint64_t frames_died_midflight() const { return frames_died_; }
+
+  // --- deterministic replay trace -----------------------------------------
+  /// Records one line per channel decision (send outcome) and per popped
+  /// event, up to `limit` lines.  Lines are pure functions of the seed and
+  /// the call sequence — the replay regression tests compare them byte for
+  /// byte across runs.  Off by default (limit 0).
+  void enable_trace(std::size_t limit) { trace_limit_ = limit; }
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  struct Queued {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    SimEvent event;
+  };
+  struct QueuedLater {
+    bool operator()(const Queued& a, const Queued& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::uint64_t link_id(graph::NodeId u, graph::Port p) const {
+    return offsets_[u] + p;
+  }
+  void check_half_edge(graph::NodeId u, graph::Port p, const char* who) const;
+  void push(SimTime at, SimEvent ev);
+  void record(std::string line);
+
+  const graph::Graph* graph_;
+  std::uint64_t seed_;
+  LinkModel default_model_;
+  std::vector<std::size_t> offsets_;  ///< per-node half-edge offsets (n + 1)
+  /// Sparse per-link overrides / down flags, indexed by link id.
+  std::vector<std::optional<LinkModel>> models_;
+  std::vector<bool> down_;
+
+  std::priority_queue<Queued, std::vector<Queued>, QueuedLater> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;   ///< push-order event ids
+  std::uint64_t next_send_ = 0;  ///< per-send channel-draw counter
+
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t frames_lost_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
+  std::uint64_t frames_died_ = 0;
+
+  std::size_t trace_limit_ = 0;
+  std::vector<std::string> trace_;
+};
+
+/// One-line rendering of an event ("t=12 seq=3 arr node=4 port=1 ...") —
+/// the unit the replay regression tests serialize and diff.
+std::string to_string(const SimEvent& ev);
+
+}  // namespace uesr::net

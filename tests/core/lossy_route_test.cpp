@@ -1,0 +1,269 @@
+// Certificate soundness of Algorithm Route over lossy channels
+// (DESIGN.md §2.10): under every adversarial channel regime, a delivery
+// verdict is only returned when t is truly reachable, a failure
+// certificate is never emitted while a path exists, and loss degrades
+// outcomes to kUncertified — never to a wrong certificate.
+#include "core/lossy_route.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/route.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace uesr::core {
+namespace {
+
+using explore::ReducedGraph;
+using explore::reduce_to_cubic;
+using graph::Graph;
+using graph::NodeId;
+using graph::Port;
+
+struct Fixture {
+  Graph original;
+  ReducedGraph net;
+  std::shared_ptr<const explore::ExplorationSequence> seq;
+
+  explicit Fixture(Graph g, std::uint64_t seed = 0x5eed0001)
+      : original(std::move(g)),
+        net(reduce_to_cubic(original)),
+        seq(explore::standard_ues(
+            net.cubic.num_nodes() == 0 ? 1 : net.cubic.num_nodes(), seed)) {}
+};
+
+/// Two connected gnp halves with no edge between them: cross-half pairs
+/// are ground-truth unreachable.
+Graph split_graph(NodeId half, double p, std::uint64_t seed) {
+  const Graph a = graph::connected_gnp(half, p, seed);
+  const Graph b = graph::connected_gnp(half, p, seed + 1);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const Graph* g : {&a, &b}) {
+    const NodeId base = g == &b ? half : 0;
+    for (NodeId v = 0; v < g->num_nodes(); ++v)
+      for (Port q = 0; q < g->degree(v); ++q) {
+        const graph::HalfEdge far = g->rotate(v, q);
+        if (far.node > v || (far.node == v && far.port >= q))
+          edges.emplace_back(base + v, base + far.node);
+      }
+  }
+  return graph::from_edges(2 * half, edges);
+}
+
+/// Soundness gate shared by all the regime sweeps: run every ordered pair
+/// and check the verdict against ground-truth reachability.
+struct RegimeTally {
+  int delivered = 0;
+  int certified = 0;
+  int uncertified = 0;
+};
+
+RegimeTally sweep_all_pairs(const Fixture& fx, const LossyRouteOptions& base,
+                            std::uint64_t seed_salt) {
+  const auto comp = graph::connected_components(fx.original);
+  RegimeTally tally;
+  for (NodeId s = 0; s < fx.original.num_nodes(); ++s) {
+    for (NodeId t = 0; t < fx.original.num_nodes(); ++t) {
+      if (s == t) continue;
+      LossyRouteOptions options = base;
+      options.net_seed = util::counter_hash(seed_salt, s * 1000 + t);
+      LossyRouteSession session(fx.net, *fx.seq, s, t, options);
+      const LossyVerdict v = session.run();
+      const bool reachable = comp[s] == comp[t];
+      switch (v) {
+        case LossyVerdict::kDelivered:
+          EXPECT_TRUE(reachable) << "false delivery cert s=" << s
+                                 << " t=" << t;
+          ++tally.delivered;
+          break;
+        case LossyVerdict::kFailureCertified:
+          EXPECT_FALSE(reachable)
+              << "failure cert with a live path s=" << s << " t=" << t;
+          ++tally.certified;
+          break;
+        case LossyVerdict::kUncertified:
+          ++tally.uncertified;
+          break;
+        case LossyVerdict::kInProgress:
+          ADD_FAILURE() << "run() returned kInProgress";
+          break;
+      }
+    }
+  }
+  return tally;
+}
+
+// ---------------------------------------------------------------------------
+// Perfect-channel equivalence: at loss = 0 the lossy session reproduces the
+// RouteSession verdict and walk length exactly.
+// ---------------------------------------------------------------------------
+
+TEST(LossyRouteSession, PerfectChannelMatchesRouteSessionEverywhere) {
+  Fixture fx(split_graph(6, 0.5, 7));
+  for (NodeId s = 0; s < fx.original.num_nodes(); ++s) {
+    for (NodeId t = 0; t < fx.original.num_nodes(); ++t) {
+      if (s == t) continue;
+      RouteSession perfect(fx.net, *fx.seq, s, t);
+      while (!perfect.finished()) perfect.step();
+      LossyRouteSession lossy(fx.net, *fx.seq, s, t);
+      const LossyVerdict v = lossy.run();
+      if (perfect.status() == net::Status::kSuccess) {
+        EXPECT_EQ(v, LossyVerdict::kDelivered);
+      } else {
+        EXPECT_EQ(v, LossyVerdict::kFailureCertified);
+      }
+      EXPECT_EQ(lossy.hops(), perfect.transmissions());
+      EXPECT_EQ(lossy.target_reached(), perfect.target_reached());
+      // Stop-and-wait on a perfect channel: one DATA + one ACK per hop.
+      EXPECT_EQ(lossy.wire_frames(), 2 * lossy.hops());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial regimes (the ISSUE soundness gate).
+// ---------------------------------------------------------------------------
+
+TEST(LossyRouteSoundness, DuplicationOnlyRegime) {
+  Fixture fx(split_graph(5, 0.6, 11));
+  LossyRouteOptions options;
+  options.link.dup = 1.0;  // every frame doubled, nothing lost
+  options.link.latency_min = 1;
+  options.link.latency_max = 11;  // dups overtake and straggle
+  const RegimeTally tally = sweep_all_pairs(fx, options, 0xd0b1e);
+  // No loss: every transfer completes, so every pair gets a real verdict
+  // and it must match reachability exactly.
+  EXPECT_EQ(tally.uncertified, 0);
+  EXPECT_GT(tally.delivered, 0);
+  EXPECT_GT(tally.certified, 0);
+}
+
+TEST(LossyRouteSoundness, LossOnlyRegime) {
+  Fixture fx(split_graph(5, 0.6, 13));
+  LossyRouteOptions options;
+  options.link.loss = 0.3;
+  options.reliable.max_retries = 2;  // tight budget: uncertified happens
+  options.reliable.rto = 4;
+  const RegimeTally tally = sweep_all_pairs(fx, options, 0x1055);
+  EXPECT_GT(tally.uncertified, 0);  // the budget really bit
+  EXPECT_GT(tally.delivered, 0);    // and some walks still completed
+}
+
+TEST(LossyRouteSoundness, LossOnlyGenerousBudgetStillSound) {
+  Fixture fx(split_graph(4, 0.7, 17));
+  LossyRouteOptions options;
+  options.link.loss = 0.25;
+  options.reliable.max_retries = 40;  // delivery of each hop near-certain
+  options.reliable.rto = 2;
+  const RegimeTally tally = sweep_all_pairs(fx, options, 0x9e9e);
+  EXPECT_GT(tally.delivered, 0);
+  EXPECT_GT(tally.certified, 0);  // failure certs survive loss, soundly
+}
+
+TEST(LossyRouteSoundness, OneSidedLinkRegimeNeverFalselyCertifies) {
+  // No loss, no duplication — but some cubic-graph directions are down.
+  // Data or acks silently vanish on those directions; the session may only
+  // degrade to kUncertified, never to a wrong certificate.
+  Fixture fx(split_graph(5, 0.6, 19));
+  const auto comp = graph::connected_components(fx.original);
+  const Graph& cubic = fx.net.cubic;
+  util::Pcg32 flips(0x0f1e);
+  int uncertified = 0, verdicts = 0;
+  for (NodeId s = 0; s < fx.original.num_nodes(); ++s) {
+    for (NodeId t = 0; t < fx.original.num_nodes(); ++t) {
+      if (s == t) continue;
+      LossyRouteOptions options;
+      options.reliable.max_retries = 2;
+      options.reliable.rto = 4;
+      options.net_seed = util::counter_hash(0x51de, s * 1000 + t);
+      LossyRouteSession session(fx.net, *fx.seq, s, t, options);
+      // Down ~15% of directed half-edges, one side only.
+      for (NodeId v = 0; v < cubic.num_nodes(); ++v)
+        for (Port q = 0; q < cubic.degree(v); ++q)
+          if (flips.next_below(100) < 15)
+            session.transport().sim().set_link_up(v, q, false);
+      const LossyVerdict v = session.run();
+      const bool reachable = comp[s] == comp[t];
+      if (v == LossyVerdict::kDelivered) {
+        EXPECT_TRUE(reachable);
+      }
+      if (v == LossyVerdict::kFailureCertified) {
+        EXPECT_FALSE(reachable);
+      }
+      uncertified += v == LossyVerdict::kUncertified;
+      verdicts += v != LossyVerdict::kUncertified;
+    }
+  }
+  EXPECT_GT(uncertified, 0);  // dead directions really blocked walks
+  EXPECT_GT(verdicts, 0);     // and some sessions still concluded
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(LossyRouteSession, BroadcastRunsUnderLoss) {
+  Fixture fx(graph::connected_gnp(8, 0.4, 23));
+  LossyRouteOptions options;
+  options.link.loss = 0.1;
+  options.reliable.max_retries = 30;
+  options.reliable.rto = 2;
+  LossyRouteSession session(fx.net, *fx.seq, 0, net::kNoTarget, options);
+  const LossyVerdict v = session.run();
+  // A completed broadcast exhausts the sequence and rewinds: that is the
+  // kFailureCertified shape (status kFailure at s) — or the budget spends.
+  EXPECT_TRUE(v == LossyVerdict::kFailureCertified ||
+              v == LossyVerdict::kUncertified);
+}
+
+TEST(LossyRouteSession, UncertifiedSessionsMayStillHaveDelivered) {
+  // target_reached() is ground truth for the two-generals gap: across
+  // seeds, some uncertified sessions reached t before the budget died.
+  Fixture fx(graph::connected_gnp(6, 0.5, 29));
+  int uncertified_but_reached = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    LossyRouteOptions options;
+    options.link.loss = 0.1;
+    options.reliable.max_retries = 2;
+    options.reliable.rto = 4;
+    options.net_seed = util::counter_hash(0x2be1, seed);
+    LossyRouteSession session(fx.net, *fx.seq, 0, 5, options);
+    session.run();
+    if (session.uncertified() && session.target_reached())
+      ++uncertified_but_reached;
+  }
+  EXPECT_GT(uncertified_but_reached, 0);
+}
+
+TEST(LossyRouteSession, SameSeedSameVerdictAndFrames) {
+  Fixture fx(graph::connected_gnp(9, 0.4, 31));
+  LossyVerdict verdicts[2];
+  std::uint64_t frames[2];
+  for (int run = 0; run < 2; ++run) {
+    LossyRouteOptions options;
+    options.link.loss = 0.2;
+    options.link.dup = 0.1;
+    options.reliable.rto = 4;
+    LossyRouteSession session(fx.net, *fx.seq, 1, 7, options);
+    verdicts[run] = session.run();
+    frames[run] = session.wire_frames();
+  }
+  EXPECT_EQ(verdicts[0], verdicts[1]);
+  EXPECT_EQ(frames[0], frames[1]);
+}
+
+TEST(LossyRouteSession, ValidatesEndpoints) {
+  Fixture fx(graph::cycle(4));
+  EXPECT_THROW(LossyRouteSession(fx.net, *fx.seq, 99, 0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(LossyRouteSession(fx.net, *fx.seq, 0, 99, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::core

@@ -1,0 +1,104 @@
+#include "net/lossy_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace uesr::net {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Port;
+
+TEST(LossyTransport, PerfectChannelMatchesTransportPerSend) {
+  Graph g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  Transport perfect(g);
+  LossyTransport lossy(g, /*seed=*/3);
+  Arrival a = perfect.send(0, 0);
+  auto b = lossy.send(0, 0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a.node, b->node);
+  EXPECT_EQ(a.port, b->port);
+}
+
+// The satellite equivalence claim in unit form (the property-test sweep is
+// P9): at loss = 0, zero jitter, bidirectional links, a whole random walk
+// replays net::Transport's arrival sequence and transmission count.
+TEST(LossyTransport, PerfectChannelReplaysAWholeWalk) {
+  const Graph g = graph::connected_gnp(14, 0.25, 11);
+  Transport perfect(g);
+  LossyTransport lossy(g, /*seed=*/5);
+  util::Pcg32 walk(77);
+  NodeId at_p = 0, at_l = 0;
+  Port in_p = 0, in_l = 0;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(at_p, at_l);
+    const Port out = walk.next_below(g.degree(at_p));
+    const Arrival a = perfect.send(at_p, out);
+    const auto b = lossy.send(at_l, out);
+    ASSERT_TRUE(b.has_value());
+    ASSERT_EQ(a.node, b->node);
+    ASSERT_EQ(a.port, b->port);
+    at_p = a.node;
+    in_p = a.port;
+    at_l = b->node;
+    in_l = b->port;
+  }
+  EXPECT_EQ(in_p, in_l);
+  EXPECT_EQ(perfect.transmissions(), lossy.transmissions());
+  EXPECT_EQ(lossy.transmissions(), 500u);
+}
+
+TEST(LossyTransport, FullLossReturnsNulloptButCountsTheSend) {
+  Graph g = graph::cycle(4);
+  LinkModel m;
+  m.loss = 1.0;
+  LossyTransport tr(g, 3, m);
+  EXPECT_FALSE(tr.send(0, 0).has_value());
+  EXPECT_EQ(tr.transmissions(), 1u);
+}
+
+TEST(LossyTransport, DuplicatedFrameResolvesOnce) {
+  Graph g = graph::cycle(4);
+  LinkModel m;
+  m.dup = 1.0;
+  m.latency_min = 1;
+  m.latency_max = 9;
+  LossyTransport tr(g, 3, m);
+  auto a = tr.send(0, 0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node, 1u);
+  // The straggler copy of frame 0 must not satisfy a later send.
+  LinkModel lossy;
+  lossy.loss = 1.0;
+  tr.sim().set_link_model(1, 1, lossy);
+  EXPECT_FALSE(tr.send(1, 1).has_value());
+}
+
+TEST(LossyTransport, LossIsSeedDeterministic) {
+  const Graph g = graph::connected_gnp(10, 0.3, 9);
+  LinkModel m;
+  m.loss = 0.4;
+  int delivered[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    LossyTransport tr(g, /*seed=*/0x1234, m);
+    util::Pcg32 walk(5);
+    NodeId at = 0;
+    for (int i = 0; i < 300; ++i) {
+      const Port out = walk.next_below(g.degree(at));
+      if (auto a = tr.send(at, out)) {
+        at = a->node;
+        ++delivered[run];
+      }
+    }
+  }
+  EXPECT_EQ(delivered[0], delivered[1]);
+  EXPECT_GT(delivered[0], 0);
+  EXPECT_LT(delivered[0], 300);
+}
+
+}  // namespace
+}  // namespace uesr::net

@@ -1,0 +1,174 @@
+#include "net/reliable.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace uesr::net {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Port;
+
+TEST(ReliableTransport, PerfectChannelIsOneDataOneAck) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  ReliableTransport rt(g, 3);
+  ReliableOutcome out = rt.send(0, 0);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_TRUE(out.data_arrived);
+  EXPECT_EQ(out.arrival.node, 1u);
+  EXPECT_EQ(out.arrival.port, 0u);
+  EXPECT_EQ(out.data_copies, 1u);
+  EXPECT_EQ(out.ack_copies, 1u);
+  EXPECT_EQ(rt.frames(), 2u);
+}
+
+TEST(ReliableTransport, RetransmitsThroughLossUntilAcked) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.loss = 0.5;
+  ReliableOptions opts;
+  opts.max_retries = 64;  // generous: delivery near-certain
+  int delivered = 0;
+  std::uint64_t retransmissions = 0;
+  for (int i = 0; i < 40; ++i) {
+    ReliableTransport rt(g, /*seed=*/1000 + i, m, opts);
+    ReliableOutcome out = rt.send(0, 0);
+    delivered += out.delivered;
+    retransmissions += out.data_copies - 1;
+    if (out.delivered) {
+      EXPECT_TRUE(out.data_arrived);
+    }
+  }
+  EXPECT_EQ(delivered, 40);      // P(fail) ~ 0.5^65 per side
+  EXPECT_GT(retransmissions, 0u);  // loss really forced retries
+}
+
+TEST(ReliableTransport, BudgetExhaustionSpendsExactlyMaxRetriesPlusOne) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel dead;
+  dead.loss = 1.0;
+  ReliableOptions opts;
+  opts.max_retries = 5;
+  ReliableTransport rt(g, 3, dead, opts);
+  ReliableOutcome out = rt.send(0, 0);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_FALSE(out.data_arrived);
+  EXPECT_EQ(out.data_copies, 6u);  // initial + 5 retries
+  EXPECT_EQ(out.ack_copies, 0u);
+}
+
+TEST(ReliableTransport, ForwardDirectionDownFailsCleanly) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  ReliableOptions opts;
+  opts.max_retries = 3;
+  ReliableTransport rt(g, 3, {}, opts);
+  rt.sim().set_link_up(0, 0, false);
+  ReliableOutcome out = rt.send(0, 0);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_FALSE(out.data_arrived);
+  EXPECT_EQ(out.data_copies, 4u);
+}
+
+// The two-generals gap made concrete: data crosses, every ack dies.  The
+// sender must report not-delivered while the simulator's ground truth
+// records the arrival — exactly the case that turns failure certificates
+// into "uncertified after budget" one layer up.
+TEST(ReliableTransport, AckDirectionDownArrivesButNeverConfirms) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  ReliableOptions opts;
+  opts.max_retries = 3;
+  ReliableTransport rt(g, 3, {}, opts);
+  rt.sim().set_link_up(1, 0, false);  // kill the 1 -> 0 (ack) direction only
+  ReliableOutcome out = rt.send(0, 0);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_TRUE(out.data_arrived);
+  EXPECT_EQ(out.arrival.node, 1u);
+  EXPECT_EQ(out.data_copies, 4u);
+  EXPECT_EQ(out.ack_copies, 4u);  // the receiver acked every copy, in vain
+}
+
+TEST(ReliableTransport, DuplicationAloneCannotBreakExactlyOnce) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.dup = 1.0;
+  m.latency_min = 1;
+  m.latency_max = 13;
+  ReliableOptions opts;
+  opts.rto = 64;  // > worst-case RTT: no spurious timeout retransmits
+  ReliableTransport rt(g, 3, m, opts);
+  for (int i = 0; i < 20; ++i) {
+    ReliableOutcome out = rt.send(0, 0);
+    EXPECT_TRUE(out.delivered);
+    EXPECT_EQ(out.arrival.node, 1u);
+    // data_copies == 1: no loss, so never a retransmit; the channel's extra
+    // copies are dups, not sends.
+    EXPECT_EQ(out.data_copies, 1u);
+  }
+}
+
+TEST(ReliableTransport, StaleFramesOfEarlierTransfersAreIgnored) {
+  // High-jitter duplication leaves stragglers of transfer k in the queue
+  // when transfer k+1 starts; they must not satisfy or poison it.
+  Graph g = graph::connected_gnp(8, 0.4, 17);
+  LinkModel m;
+  m.dup = 0.8;
+  m.loss = 0.3;
+  m.latency_min = 1;
+  m.latency_max = 40;
+  ReliableOptions opts;
+  opts.max_retries = 20;
+  opts.rto = 4;
+  ReliableTransport rt(g, 23, m, opts);
+  util::Pcg32 walk(9);
+  NodeId at = 0;
+  int ok = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Port out_port = walk.next_below(g.degree(at));
+    ReliableOutcome out = rt.send(at, out_port);
+    if (out.delivered) {
+      // The arrival must be the genuine far end of the edge we sent on —
+      // never a stale frame's endpoint.
+      const graph::HalfEdge far = g.rotate(at, out_port);
+      ASSERT_EQ(out.arrival.node, far.node);
+      ASSERT_EQ(out.arrival.port, far.port);
+      at = out.arrival.node;
+      ++ok;
+    }
+  }
+  EXPECT_GT(ok, 150);  // generous budget: most transfers confirm
+}
+
+TEST(ReliableTransport, BackoffDeterministicAcrossRuns) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.loss = 0.7;
+  ReliableOptions opts;
+  opts.max_retries = 10;
+  std::uint64_t frames[2];
+  bool delivered[2];
+  for (int run = 0; run < 2; ++run) {
+    ReliableTransport rt(g, /*seed=*/0xbeef, m, opts);
+    ReliableOutcome out = rt.send(0, 0);
+    frames[run] = rt.frames();
+    delivered[run] = out.delivered;
+  }
+  EXPECT_EQ(frames[0], frames[1]);
+  EXPECT_EQ(delivered[0], delivered[1]);
+}
+
+TEST(ReliableTransport, ValidatesOptions) {
+  Graph g = graph::cycle(3);
+  ReliableOptions zero_rto;
+  zero_rto.rto = 0;
+  EXPECT_THROW(ReliableTransport(g, 3, {}, zero_rto), std::invalid_argument);
+  ReliableOptions inverted;
+  inverted.rto = 100;
+  inverted.rto_max = 10;
+  EXPECT_THROW(ReliableTransport(g, 3, {}, inverted), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uesr::net

@@ -11,7 +11,12 @@
 //   P5  broadcast covers exactly the component;
 //   P6  census (CountNodes) equals BFS component sizes;
 //   P7  cover times are prefix-stable (a longer sequence with the same
-//       seed covers at the same step).
+//       seed covers at the same step);
+//   P8  the CSR layout is observationally a rotation map;
+//   P9  the lossy transport degenerates exactly: at loss = 0, zero
+//       jitter, bidirectional links, net::LossyTransport replays the
+//       arrival sequence and transmission count of net::Transport over
+//       the same walk.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -25,6 +30,9 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/geometric.h"
+#include "net/lossy_transport.h"
+#include "net/transport.h"
+#include "util/rng.h"
 
 namespace uesr {
 namespace {
@@ -218,6 +226,28 @@ TEST_P(GraphZoo, RelabelInverseRoundTrip) {
   graph::Graph relabeled = g_.relabeled(perms);
   EXPECT_NO_THROW(relabeled.validate());
   EXPECT_EQ(relabeled.relabeled(inverse), g_);
+}
+
+// ---- P9: the lossy transport degenerates exactly -----------------------
+
+TEST_P(GraphZoo, LossyTransportAtZeroLossReplaysTransport) {
+  if (g_.num_nodes() == 0 || g_.degree(0) == 0) GTEST_SKIP();
+  net::Transport perfect(g_);
+  net::LossyTransport lossy(g_, /*seed=*/0x5eed0009);  // defaults: loss = 0,
+                                                       // latency pinned at 1
+  util::Pcg32 walk(0x99);
+  graph::NodeId at = 0;
+  for (int i = 0; i < 300; ++i) {
+    const graph::Port out = walk.next_below(g_.degree(at));
+    const net::Arrival a = perfect.send(at, out);
+    const auto b = lossy.send(at, out);
+    ASSERT_TRUE(b.has_value()) << "step " << i;
+    ASSERT_EQ(a.node, b->node) << "step " << i;
+    ASSERT_EQ(a.port, b->port) << "step " << i;
+    at = a.node;
+  }
+  EXPECT_EQ(perfect.transmissions(), lossy.transmissions());
+  EXPECT_EQ(lossy.transmissions(), 300u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
