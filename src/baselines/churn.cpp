@@ -143,6 +143,54 @@ ChurnAttempt ChurnRouter::route_flooding(NodeId s, NodeId t) const {
   return a;
 }
 
+ChurnAttempt ChurnRouter::route_gossip(NodeId s, NodeId t, double loss,
+                                       double p, std::uint64_t seed) const {
+  if (!(loss >= 0.0 && loss <= 1.0))
+    throw std::invalid_argument("ChurnRouter::route_gossip: loss in [0, 1]");
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument("ChurnRouter::route_gossip: p in [0, 1]");
+  Replay r(*scenario_, period_, max_epochs_);
+  if (s >= r.g.num_nodes() || t >= r.g.num_nodes())
+    throw std::invalid_argument(
+        "ChurnRouter::route_gossip: node out of range");
+  util::Pcg32 rng(seed);
+  ChurnAttempt a;
+  std::vector<char> seen(r.g.num_nodes(), 0);
+  std::deque<NodeId> frontier{s};
+  seen[s] = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    // The gossip coin is flipped when v would speak (frontier order), the
+    // source unconditionally — one draw per infected node, so the draw
+    // sequence is a pure function of the infection order.  A silent node
+    // sends nothing and charges nothing.
+    if (v != s && rng.next_double() >= p) continue;
+    // Like route_flooding, v speaks over its ports in the epoch it
+    // transmits in: read the snapshot first, charge the clock after.
+    const graph::Graph& g = r.g.snapshot();
+    const Port deg = g.degree(v);
+    for (Port p_ = 0; p_ < deg; ++p_) {
+      // One loss draw per copy, in port order, charged whether or not the
+      // copy survives (it was on the air either way).
+      if (rng.next_double() < loss) continue;
+      const NodeId w = g.neighbor(v, p_);
+      if (!seen[w]) {
+        seen[w] = 1;
+        frontier.push_back(w);
+      }
+    }
+    a.transmissions += deg;
+    for (Port p_ = 0; p_ < deg; ++p_) r.tx_tick();
+  }
+  a.delivered = seen[t] != 0;
+  // Never certified, for the same reason as route_flooding — and loss adds
+  // a second hole: a dropped copy silently prunes the wave.
+  a.ticks = r.ticks;
+  a.completion_epoch = r.g.epoch();
+  return a;
+}
+
 ChurnAttempt ChurnRouter::route_greedy(NodeId s, NodeId t) const {
   Replay r(*scenario_, period_, max_epochs_);
   if (s >= r.g.num_nodes() || t >= r.g.num_nodes())
@@ -200,7 +248,8 @@ bool ChurnRouter::co_connected_after(std::uint64_t ticks, NodeId s,
 ChurnCell churn_experiment(const graph::Scenario& scenario, int pairs,
                            std::uint64_t period, std::uint64_t max_epochs,
                            std::uint64_t rw_ttl, std::uint64_t seed,
-                           unsigned threads) {
+                           unsigned threads, double gossip_loss,
+                           double gossip_p) {
   const NodeId n = scenario.num_nodes();
   if (n == 0) throw std::invalid_argument("churn_experiment: empty scenario");
   if (pairs < 0) throw std::invalid_argument("churn_experiment: pairs >= 0");
@@ -248,6 +297,11 @@ ChurnCell churn_experiment(const graph::Scenario& scenario, int pairs,
                                        util::counter_hash(seed, i))
                   .delivered;
           part.flood_delivered += router.route_flooding(s, t).delivered;
+          const ChurnAttempt gossip = router.route_gossip(
+              s, t, gossip_loss, gossip_p,
+              util::counter_hash(seed ^ 0x90551b, i));
+          part.gossip_delivered += gossip.delivered;
+          part.gossip_transmissions += gossip.transmissions;
           if (has_greedy)
             part.greedy_delivered += router.route_greedy(s, t).delivered;
         }
@@ -262,6 +316,8 @@ ChurnCell churn_experiment(const graph::Scenario& scenario, int pairs,
         acc.ues_restarts += p.ues_restarts;
         acc.rw_delivered += p.rw_delivered;
         acc.flood_delivered += p.flood_delivered;
+        acc.gossip_delivered += p.gossip_delivered;
+        acc.gossip_transmissions += p.gossip_transmissions;
         acc.greedy_delivered += p.greedy_delivered;
         return acc;
       });

@@ -71,6 +71,18 @@ class ChurnRouter {
   /// static baseline already commits); never certifies under churn.
   ChurnAttempt route_flooding(graph::NodeId s, graph::NodeId t) const;
 
+  /// baselines::gossip_lossy lifted to the churn grid (the Haas–Halpern–Li
+  /// comparison point of PAPERS.md under a MOVING topology): each copy is
+  /// lost with probability `loss`, each newly-infected node retransmits
+  /// with probability `p` (the source always does), seen bits persist
+  /// across epochs like route_flooding's.  Draws come from one
+  /// Pcg32(seed) in deterministic frontier order, so the attempt is a
+  /// pure function of (scenario, s, t, loss, p, seed) — seed-pure and
+  /// replayable per the PR 4 convention.  Never certifies.  At p = 1,
+  /// loss = 0 this is exactly route_flooding.
+  ChurnAttempt route_gossip(graph::NodeId s, graph::NodeId t, double loss,
+                            double p, std::uint64_t seed) const;
+
   /// Greedy geographic forwarding on the epoch's committed positions (2D
   /// or 3D, whichever the scenario publishes; throws std::logic_error when
   /// it publishes neither).  Local minima wait for the next epoch.
@@ -106,21 +118,28 @@ struct ChurnCell {
   std::uint64_t ues_restarts = 0;
   int rw_delivered = 0;
   int flood_delivered = 0;
+  int gossip_delivered = 0;
+  std::uint64_t gossip_transmissions = 0;
   bool has_greedy = false;  ///< scenario publishes positions
   int greedy_delivered = 0;
 
   friend bool operator==(const ChurnCell&, const ChurnCell&) = default;
 };
 
-/// Runs `pairs` independent (s, t) trials of the four-router comparison
+/// Runs `pairs` independent (s, t) trials of the five-router comparison
 /// under the scenario's schedule and sums the outcomes.  The pair list is
 /// drawn serially from Pcg32(seed); trial i's random-walk stream is
-/// Pcg32(counter_hash(seed, i)); trials fan out over `threads` lanes
-/// (0 = resolve via UESR_THREADS / hardware) with chunk results merged in
-/// index order — the returned cell is bit-identical for any thread count.
+/// Pcg32(counter_hash(seed, i)) and its gossip stream
+/// Pcg32(counter_hash(seed ^ 0x90551b, i)); trials fan out over `threads`
+/// lanes (0 = resolve via UESR_THREADS / hardware) with chunk results
+/// merged in index order — the returned cell is bit-identical for any
+/// thread count.  gossip_loss / gossip_p parameterise the route_gossip
+/// column (defaults sit near its percolation knee; see
+/// bench_lossy_delivery's threshold table).
 ChurnCell churn_experiment(const graph::Scenario& scenario, int pairs,
                            std::uint64_t period, std::uint64_t max_epochs,
                            std::uint64_t rw_ttl, std::uint64_t seed,
-                           unsigned threads = 0);
+                           unsigned threads = 0, double gossip_loss = 0.1,
+                           double gossip_p = 0.65);
 
 }  // namespace uesr::baselines

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "baselines/random_walk.h"
+#include "graph/algorithms.h"
+#include "graph/dynamic.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -184,6 +186,97 @@ TrafficCell traffic_experiment(const graph::Scenario& scenario,
   engine.admit_all(w.sessions);
   engine.run();
   return summarize_traffic(engine.reports(), engine.clock());
+}
+
+namespace {
+
+/// Folds lossy-engine reports and validates every hard verdict against the
+/// component labels of the epoch it is about (comp_by_epoch[e]; static
+/// runs pass a single entry).  Serial and in session-id order — the
+/// acceptance gate must be as deterministic as the cells it guards.
+LossyTrafficCell summarize_lossy(
+    const std::vector<core::SessionReport>& reports,
+    std::uint64_t final_clock,
+    const std::vector<std::vector<NodeId>>& comp_by_epoch) {
+  LossyTrafficCell cell;
+  cell.final_clock = final_clock;
+  util::Samples tx;
+  for (const core::SessionReport& r : reports) {
+    ++cell.sessions;
+    cell.delivered += r.delivered;
+    cell.certified += r.failure_certified;
+    cell.uncertified += r.uncertified;
+    cell.wire_frames += r.transmissions;
+    cell.hops += r.hops;
+    cell.retransmits += r.retransmits;
+    cell.restarts += r.restarts;
+    if (r.delivered) cell.vtime_delivered += r.virtual_time;
+    if (r.finished) tx.add(static_cast<double>(r.transmissions));
+    if (r.delivered || r.failure_certified) {
+      const std::size_t e = static_cast<std::size_t>(
+          std::min<std::uint64_t>(r.completion_epoch,
+                                  comp_by_epoch.size() - 1));
+      const bool reachable = comp_by_epoch[e][r.s] == comp_by_epoch[e][r.t];
+      // kDelivered with no path, or a failure certificate with a live
+      // path, is an unsound certificate — the thing this engine must
+      // never produce (kUncertified asserts nothing and needs no check).
+      cell.unsound += r.delivered ? !reachable : reachable;
+    }
+  }
+  if (tx.count() > 0) {
+    cell.p50_tx = tx.percentile(50.0);
+    cell.p99_tx = tx.percentile(99.0);
+  }
+  return cell;
+}
+
+}  // namespace
+
+LossyTrafficCell lossy_traffic_experiment(const graph::Graph& g,
+                                          const Workload& w,
+                                          const core::LossyTrafficConfig& cfg,
+                                          std::uint64_t seq_seed,
+                                          unsigned threads) {
+  core::TrafficOptions opt;
+  opt.seq_seed = seq_seed;
+  opt.threads = threads;
+  opt.lossy = cfg;
+  core::TrafficEngine engine(g, opt);
+  engine.admit_all(w.sessions);
+  engine.run();
+  return summarize_lossy(engine.reports(), engine.clock(),
+                         {graph::connected_components(g)});
+}
+
+LossyTrafficCell lossy_traffic_experiment(const graph::Scenario& scenario,
+                                          std::uint64_t epoch_period,
+                                          std::uint64_t max_epochs,
+                                          const Workload& w,
+                                          const core::LossyTrafficConfig& cfg,
+                                          std::uint64_t seq_seed,
+                                          unsigned threads) {
+  core::TrafficOptions opt;
+  opt.seq_seed = seq_seed;
+  opt.threads = threads;
+  opt.epoch_period = epoch_period;
+  opt.max_epochs = max_epochs;
+  opt.lossy = cfg;
+  core::TrafficEngine engine(scenario, opt);
+  engine.admit_all(w.sessions);
+  engine.run();
+  // Ground truth: an independent replay of the schedule, one component map
+  // per epoch (scenario replays are exact, so this is the same topology
+  // sequence the engine committed).
+  std::vector<std::vector<NodeId>> comp_by_epoch;
+  comp_by_epoch.reserve(static_cast<std::size_t>(max_epochs) + 1);
+  auto replay = scenario.fresh();
+  graph::DynamicGraph dg = replay->initial();
+  comp_by_epoch.push_back(graph::connected_components(dg.snapshot()));
+  for (std::uint64_t e = 0; e < max_epochs; ++e) {
+    replay->advance(dg);
+    comp_by_epoch.push_back(graph::connected_components(dg.snapshot()));
+  }
+  return summarize_lossy(engine.reports(), engine.clock(), comp_by_epoch);
 }
 
 }  // namespace uesr::baselines

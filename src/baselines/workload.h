@@ -104,4 +104,52 @@ TrafficCell traffic_experiment(const graph::Scenario& scenario,
                                std::uint64_t max_epochs, const Workload& w,
                                std::uint64_t seq_seed, unsigned threads);
 
+/// One E14 cell: the lossy traffic engine's per-session verdicts folded in
+/// session-id order, each kDelivered / kFailureCertified verdict VALIDATED
+/// against ground-truth reachability at its completion epoch.  Every field
+/// is thread-count invariant (pinned by the lossy-traffic ThreadInvariance
+/// tests).
+struct LossyTrafficCell {
+  int sessions = 0;
+  int delivered = 0;
+  int certified = 0;    ///< sound failure certificates
+  int uncertified = 0;  ///< budget-spent no-verdict degradations
+  /// Verdicts contradicting ground truth at the epoch they are about —
+  /// the E14 acceptance gate; expected 0 always.
+  int unsound = 0;
+  std::uint64_t wire_frames = 0;  ///< DATA + ACK copies, lost ones included
+  std::uint64_t hops = 0;         ///< successful link transfers
+  std::uint64_t retransmits = 0;  ///< timeout-driven resends
+  std::uint64_t restarts = 0;     ///< dynamic-mode epoch restarts
+  std::uint64_t final_clock = 0;
+  /// Channel virtual time summed over DELIVERED sessions:
+  /// vtime_delivered / delivered is the virtual-time-per-delivered-route
+  /// number the selective-repeat vs stop-and-wait comparison reports.
+  std::uint64_t vtime_delivered = 0;
+  double p50_tx = 0.0;  ///< per-session wire frames, p50 over finished
+  double p99_tx = 0.0;
+  friend bool operator==(const LossyTrafficCell&,
+                         const LossyTrafficCell&) = default;
+};
+
+/// Static topology: `w`'s route sessions over per-session lossy channels
+/// + ARQ (core::LossyTrafficConfig).  Ground truth for the soundness gate
+/// is connected_components(g).
+LossyTrafficCell lossy_traffic_experiment(const graph::Graph& g,
+                                          const Workload& w,
+                                          const core::LossyTrafficConfig& cfg,
+                                          std::uint64_t seq_seed,
+                                          unsigned threads);
+
+/// Composed fault regime: links flap (scenario epochs) AND drop frames
+/// (lossy channel) in one replayable run.  Ground truth per epoch comes
+/// from an independent replay of the scenario.
+LossyTrafficCell lossy_traffic_experiment(const graph::Scenario& scenario,
+                                          std::uint64_t epoch_period,
+                                          std::uint64_t max_epochs,
+                                          const Workload& w,
+                                          const core::LossyTrafficConfig& cfg,
+                                          std::uint64_t seq_seed,
+                                          unsigned threads);
+
 }  // namespace uesr::baselines

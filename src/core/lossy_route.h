@@ -1,13 +1,21 @@
 // Algorithm Route over an asynchronous lossy channel — and exactly what
-// its certificates still mean there (DESIGN.md §2.10).
+// its certificates still mean there (DESIGN.md §2.10, §2.11).
 //
 // The per-node logic is untouched: LossyRouteSession drives the same pure
 // `route_node_step` as the perfect-link RouteSession, but every hop goes
-// through net::ReliableTransport's stop-and-wait transfer instead of a
-// guaranteed Transport::send.  Because a reliable transfer either proves
-// exactly-once far-end processing or admits ignorance, the session's walk,
-// whenever it completes, is BIT-IDENTICAL to the lossless walk — and the
-// verdicts partition into three cases with exact semantics:
+// through a reliable ARQ transfer instead of a guaranteed
+// Transport::send.  Two ARQs plug into the same seam (the PR 7 transport-
+// selection seam):
+//
+//   * ArqKind::kStopAndWait   — net::ReliableTransport, one frame per RTT;
+//   * ArqKind::kSelectiveRepeat — net::WindowTransport, a sliding window
+//     of `frames_per_message` frames per hop (the pipelined layer E14
+//     measures against stop-and-wait).
+//
+// Because a reliable transfer either proves exactly-once far-end
+// processing or admits ignorance, the session's walk, whenever it
+// completes, is BIT-IDENTICAL to the lossless walk — and the verdicts
+// partition into three cases with exact semantics:
 //
 //   * kDelivered        — every forward hop and every backward-confirmation
 //                         hop was acked: t really processed the payload and
@@ -28,16 +36,26 @@
 //                         they just stop being guaranteed-available.
 //
 // Cost: with retry budget R, a walk of h hops spends at most
-// (R + 1) * h DATA copies plus the acks — the bounded-retransmit overhead
-// E13 measures against flooding and gossip.
+// (R + 1) * h DATA copies per frame plus the acks — the bounded-retransmit
+// overhead E13/E14 measure against flooding and gossip.
+//
+// LossyDynamicRouteSession composes this with churn: the same reliable
+// hops, driven against a graph::DynamicGraph whose epoch stamp is part of
+// the walk's validity (the §2.8 restart rule of core/dynamic_route.h).
+// Links now fail BOTH ways at once — flapping in the topology layer and
+// dropping frames in the channel layer — in one replayable scenario.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 
 #include "core/route.h"
 #include "explore/degree_reduce.h"
 #include "explore/sequence.h"
+#include "graph/dynamic.h"
 #include "net/reliable.h"
+#include "net/window.h"
 
 namespace uesr::core {
 
@@ -48,13 +66,30 @@ enum class LossyVerdict : std::uint8_t {
   kUncertified,
 };
 
+/// Which reliable layer carries each hop.
+enum class ArqKind : std::uint8_t { kStopAndWait, kSelectiveRepeat };
+
+/// Per-transfer/behavioural counters either ARQ surfaces, folded over the
+/// whole session (satellite: benches assert on retransmission behaviour,
+/// not only outcomes).
+struct ArqStats {
+  std::uint64_t retransmits = 0;   ///< timeout-driven resends
+  std::uint64_t backoffs = 0;      ///< RTO doublings applied
+  std::uint64_t rtt_samples = 0;   ///< clean Karn samples taken
+  net::SimTime srtt = 0;           ///< smoothed RTT at session end
+  net::SimTime rto = 0;            ///< working RTO at session end
+  net::SimTime virtual_time = 0;   ///< channel time the session consumed
+};
+
 struct LossyRouteOptions {
   net::LinkModel link{};            ///< default channel model of every link
-  net::ReliableOptions reliable{};  ///< retry budget / timeout / backoff
+  net::ReliableOptions reliable{};  ///< stop-and-wait budget / timeouts
+  net::WindowOptions window{};      ///< selective-repeat window / budgets
+  ArqKind arq = ArqKind::kStopAndWait;
   std::uint64_t net_seed = 0x5eed0006;  ///< channel randomness
 };
 
-/// Resumable lossy routing: each step() performs one stop-and-wait hop (or
+/// Resumable lossy routing: each step() performs one reliable hop (or
 /// the free terminate step that ends a walk).
 class LossyRouteSession {
  public:
@@ -87,17 +122,33 @@ class LossyRouteSession {
   std::uint64_t hops() const { return hops_; }
   /// Every DATA/ACK copy put on the wire, lost and duplicate-spawning
   /// copies included.
-  std::uint64_t wire_frames() const { return transport_.frames(); }
+  std::uint64_t wire_frames() const;
+  /// Retransmission behaviour folded over the whole session.
+  ArqStats arq_stats() const;
 
-  /// The reliability layer (and through it the simulator), for per-link
-  /// model overrides and one-sided flips BEFORE stepping.
-  net::ReliableTransport& transport() { return transport_; }
-  const net::ReliableTransport& transport() const { return transport_; }
+  /// The configured ARQ.
+  ArqKind arq() const { return options_.arq; }
+
+  /// The stop-and-wait reliability layer; throws std::logic_error under
+  /// kSelectiveRepeat (use window_transport() / sim() there).
+  net::ReliableTransport& transport();
+  const net::ReliableTransport& transport() const;
+  /// The selective-repeat layer; throws std::logic_error under
+  /// kStopAndWait.
+  net::WindowTransport& window_transport();
+  /// The simulator under whichever ARQ runs, for per-link model overrides
+  /// and one-sided flips BEFORE stepping.
+  net::EventSim& sim();
 
  private:
+  net::Arrival reliable_hop(graph::NodeId from, graph::Port out_port,
+                            bool& ok);
+
   const explore::ReducedGraph* net_;
   const explore::ExplorationSequence* seq_;
-  net::ReliableTransport transport_;
+  LossyRouteOptions options_;
+  std::optional<net::ReliableTransport> sw_;  ///< engaged iff kStopAndWait
+  std::optional<net::WindowTransport> sr_;    ///< engaged iff kSelectiveRepeat
   net::Header header_;
   net::Arrival at_{};
   graph::NodeId start_gadget_ = 0;
@@ -105,6 +156,108 @@ class LossyRouteSession {
   bool target_reached_ = false;
   LossyVerdict verdict_ = LossyVerdict::kInProgress;
   std::uint64_t hops_ = 0;
+  ArqStats stats_;
+};
+
+/// Options of the composed loss + churn session.
+struct LossyDynamicOptions {
+  net::LinkModel link{};
+  net::ReliableOptions reliable{};
+  net::WindowOptions window{};
+  ArqKind arq = ArqKind::kStopAndWait;
+  /// Per-epoch T_n family (restarts size a fresh sequence per snapshot).
+  std::uint64_t seq_seed = 0x5eed0001;
+  /// Channel randomness; epoch e's rebuilt channel is seeded
+  /// counter_hash(net_seed, e) — a pure function of (options, epoch).
+  std::uint64_t net_seed = 0x5eed0007;
+  /// P(one directed cubic half-edge is down), drawn per epoch from
+  /// counter_hash(net_seed, epoch) — the one-sided fault regime composed
+  /// with churn and loss.  0 disables.
+  double one_sided_down = 0.0;
+};
+
+/// Algorithm Route under loss AND churn at once: reliable ARQ hops driven
+/// against a DynamicGraph, restarting whenever the epoch moves (§2.8).
+/// Every completed walk ran entirely within one epoch over one channel, so
+/// kDelivered / kFailureCertified are exact statements about
+/// completion_epoch() — and loss still only ever degrades to kUncertified.
+///
+/// A hop that spends its retry budget does NOT end the session here (under
+/// churn the link may heal): the session goes `blocked()` and waits for
+/// the next epoch, the dynamic face of the ChurnRouter wait rule.  The
+/// owner (TrafficEngine, or a test loop) calls give_up() once the schedule
+/// is frozen and no epoch will ever come — only then does the verdict
+/// become kUncertified.
+class LossyDynamicRouteSession {
+ public:
+  /// `g` must outlive the session.  Epoch commits must happen strictly
+  /// between step() calls (the TrafficEngine round contract).
+  LossyDynamicRouteSession(const graph::DynamicGraph& g, graph::NodeId s,
+                           graph::NodeId t, LossyDynamicOptions options = {});
+  ~LossyDynamicRouteSession();
+  LossyDynamicRouteSession(const LossyDynamicRouteSession&) = delete;
+  LossyDynamicRouteSession& operator=(const LossyDynamicRouteSession&) =
+      delete;
+
+  /// One reliable hop against the current epoch (restarting transparently
+  /// when the epoch moved).  No-op once finished() or while blocked() in
+  /// an unchanged epoch.
+  void step();
+
+  bool finished() const { return verdict_ != LossyVerdict::kInProgress; }
+  LossyVerdict verdict() const { return verdict_; }
+  bool delivered() const { return verdict_ == LossyVerdict::kDelivered; }
+  bool failure_certified() const {
+    return verdict_ == LossyVerdict::kFailureCertified;
+  }
+  bool uncertified() const { return verdict_ == LossyVerdict::kUncertified; }
+
+  /// A hop spent its retry budget this epoch: the session sleeps until the
+  /// topology changes.  Reports false again as soon as the epoch moved
+  /// (the next step() rebuilds and resumes).  Never true once finished().
+  bool blocked() const {
+    return blocked_ && graph_->epoch() == session_epoch_;
+  }
+  /// The owner promises no further epoch will come (schedule frozen): a
+  /// blocked session resolves to kUncertified; an in-flight one keeps
+  /// stepping (the frozen topology still lets it finish).  No-op unless
+  /// blocked.
+  void give_up();
+
+  std::uint64_t hops() const { return hops_; }
+  std::uint64_t wire_frames() const;
+  ArqStats arq_stats() const;
+  std::uint64_t restarts() const { return restarts_; }
+  /// Epoch the in-flight (or final) walk runs in.
+  std::uint64_t session_epoch() const { return session_epoch_; }
+  /// Epoch the verdict is about; meaningful once finished().
+  std::uint64_t completion_epoch() const { return completion_epoch_; }
+
+ private:
+  struct Epoch;  ///< per-epoch reduction + sequence + channel
+
+  void rebuild();
+  net::Arrival reliable_hop(graph::NodeId from, graph::Port out_port,
+                            bool& ok);
+
+  const graph::DynamicGraph* graph_;
+  graph::NodeId s_, t_;
+  LossyDynamicOptions options_;
+  std::unique_ptr<Epoch> epoch_;
+  net::Header header_;
+  net::Arrival at_{};
+  graph::NodeId start_gadget_ = 0;
+  bool injected_ = false;
+  bool blocked_ = false;
+  LossyVerdict verdict_ = LossyVerdict::kInProgress;
+  std::uint64_t hops_ = 0;
+  std::uint64_t restarts_ = 0;
+  std::uint64_t session_epoch_ = 0;
+  std::uint64_t completion_epoch_ = 0;
+  /// Wire frames / stats of discarded epochs' channels (they were really
+  /// sent).
+  std::uint64_t carried_frames_ = 0;
+  ArqStats carried_stats_;
 };
 
 }  // namespace uesr::core

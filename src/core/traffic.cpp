@@ -30,6 +30,12 @@ struct TrafficEngine::Lane {
   virtual std::uint64_t transmissions() const = 0;
   /// Writes the verdict fields once finished().
   virtual void finalize(SessionReport& r) const = 0;
+  /// Lossy-dynamic only: the session spent a retry budget and sleeps until
+  /// the next epoch (stepping it is free and futile).
+  virtual bool blocked() const { return false; }
+  /// Lossy-dynamic only: the schedule froze — resolve a blocked session to
+  /// its no-verdict end state.
+  virtual void give_up() {}
 };
 
 namespace {
@@ -136,6 +142,95 @@ struct DynamicRouteLane final : TrafficEngine::Lane {
   }
 };
 
+/// Static-mode lossy route: one private channel + ARQ per session (the
+/// PR 7 seam).  State-disjoint by construction — each lane owns its
+/// EventSim — so parallel rounds stay bit-identical for any thread count.
+struct LossyRouteLane final : TrafficEngine::Lane {
+  std::optional<LossyRouteSession> session;  ///< empty iff s == t
+
+  LossyRouteLane(const explore::ReducedGraph& net,
+                 const explore::ExplorationSequence& seq, NodeId s, NodeId t,
+                 const LossyTrafficConfig& cfg, std::size_t id) {
+    if (s == t) return;
+    LossyRouteOptions options;
+    options.link = cfg.link;
+    options.reliable = cfg.reliable;
+    options.window = cfg.window;
+    options.arq = cfg.arq;
+    options.net_seed = util::counter_hash(cfg.net_seed, id);
+    session.emplace(net, seq, s, t, options);
+    if (cfg.one_sided_down > 0.0) {
+      // Per-session direction kills from a dedicated stream (never the
+      // channel's): replayable and thread-count invariant.
+      util::Pcg32 flips(util::counter_hash(cfg.net_seed ^ 0x1e51dedu, id));
+      const graph::Graph& cubic = net.cubic;
+      net::EventSim& sim = session->sim();
+      for (NodeId v = 0; v < cubic.num_nodes(); ++v)
+        for (graph::Port q = 0; q < cubic.degree(v); ++q)
+          if (flips.next_double() < cfg.one_sided_down)
+            sim.set_link_up(v, q, false);
+    }
+  }
+  void step() override {
+    if (session) session->step();
+  }
+  bool finished() const override { return !session || session->finished(); }
+  std::uint64_t transmissions() const override {
+    return session ? session->wire_frames() : 0;
+  }
+  void finalize(SessionReport& r) const override {
+    if (!session) {  // degenerate s == t: delivered for free
+      r.delivered = true;
+      return;
+    }
+    r.delivered = session->delivered();
+    r.failure_certified = session->failure_certified();
+    r.uncertified = session->uncertified();
+    r.hops = session->hops();
+    const ArqStats st = session->arq_stats();
+    r.retransmits = st.retransmits;
+    r.virtual_time = st.virtual_time;
+  }
+};
+
+/// Dynamic-mode lossy route: the composed loss + churn fault regime.
+struct LossyDynamicRouteLane final : TrafficEngine::Lane {
+  LossyDynamicRouteSession session;
+
+  LossyDynamicRouteLane(const graph::DynamicGraph& g, NodeId s, NodeId t,
+                        const LossyTrafficConfig& cfg, std::uint64_t seq_seed,
+                        std::size_t id)
+      : session(g, s, t, [&] {
+          LossyDynamicOptions options;
+          options.link = cfg.link;
+          options.reliable = cfg.reliable;
+          options.window = cfg.window;
+          options.arq = cfg.arq;
+          options.seq_seed = seq_seed;
+          options.net_seed = util::counter_hash(cfg.net_seed, id);
+          options.one_sided_down = cfg.one_sided_down;
+          return options;
+        }()) {}
+  void step() override { session.step(); }
+  bool finished() const override { return session.finished(); }
+  std::uint64_t transmissions() const override {
+    return session.wire_frames();
+  }
+  bool blocked() const override { return session.blocked(); }
+  void give_up() override { session.give_up(); }
+  void finalize(SessionReport& r) const override {
+    r.delivered = session.delivered();
+    r.failure_certified = session.failure_certified();
+    r.uncertified = session.uncertified();
+    r.hops = session.hops();
+    r.restarts = session.restarts();
+    r.completion_epoch = session.completion_epoch();
+    const ArqStats st = session.arq_stats();
+    r.retransmits = st.retransmits;
+    r.virtual_time = st.virtual_time;
+  }
+};
+
 }  // namespace
 
 struct TrafficEngine::PoolHolder {
@@ -183,6 +278,10 @@ std::size_t TrafficEngine::admit(const SessionSpec& spec) {
     throw std::invalid_argument(
         "TrafficEngine::admit: dynamic mode multiplexes route sessions "
         "only (broadcast/hybrid semantics are per-epoch)");
+  if (options_.lossy && spec.kind != TrafficKind::kRoute)
+    throw std::invalid_argument(
+        "TrafficEngine::admit: lossy mode multiplexes route sessions only "
+        "(broadcast/hybrid have no reliable-transfer semantics yet)");
   if (spec.kind == TrafficKind::kHybrid && !options_.hybrid_walker)
     throw std::invalid_argument(
         "TrafficEngine::admit: kHybrid needs TrafficOptions::hybrid_walker "
@@ -218,7 +317,15 @@ void TrafficEngine::activate_arrivals() {
       continue;
     }
     const SessionSpec& spec = specs_[id];
-    if (dynamic()) {
+    if (options_.lossy && dynamic()) {
+      lanes_[id] = std::make_unique<LossyDynamicRouteLane>(
+          *dynamic_graph_, spec.s, spec.t, *options_.lossy,
+          options_.seq_seed, id);
+    } else if (options_.lossy) {
+      lanes_[id] = std::make_unique<LossyRouteLane>(reduced_, *seq_, spec.s,
+                                                    spec.t, *options_.lossy,
+                                                    id);
+    } else if (dynamic()) {
       lanes_[id] = std::make_unique<DynamicRouteLane>(
           *transport_, spec.s, spec.t, options_.seq_seed);
     } else {
@@ -274,6 +381,11 @@ std::size_t TrafficEngine::run_round() {
     advance_epochs_to(clock_);
     activate_arrivals();
   }
+  // Lossy-dynamic mode: once the epoch schedule froze, no blocked session
+  // can ever heal — resolve them to their no-verdict end state (serial, in
+  // id order) so run() terminates.  Degrading, never falsely certifying.
+  if (options_.lossy && dynamic() && ticks_to_epoch() == kNever)
+    for (std::size_t id : active_) lanes_[id]->give_up();
   // Round length: the batch, clamped so no session steps across a
   // scenario-epoch boundary or past a not-yet-admitted arrival.
   std::uint64_t slots = options_.batch;
@@ -292,9 +404,12 @@ std::size_t TrafficEngine::run_round() {
           std::uint64_t used = 0;
           // Free steps (terminate, hybrid decisions) never repeat
           // unboundedly, but cap total step calls defensively; the cap
-          // is a constant, so reports stay thread-count invariant.
+          // is a constant, so reports stay thread-count invariant.  A
+          // blocked lossy session sleeps out the round (stepping it is a
+          // no-op until its epoch moves).
           std::uint64_t calls = 2 * slots + 8;
-          while (!lane.finished() && used < slots && calls-- > 0) {
+          while (!lane.finished() && !lane.blocked() && used < slots &&
+                 calls-- > 0) {
             const std::uint64_t before = lane.transmissions();
             lane.step();
             used += lane.transmissions() - before;

@@ -45,9 +45,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/hybrid.h"
+#include "core/lossy_route.h"
 #include "core/route.h"
 #include "explore/degree_reduce.h"
 #include "explore/sequence.h"
@@ -82,14 +84,27 @@ struct SessionReport {
   bool failure_certified = false;
   /// Hybrid only: both sides done without a verdict (see hybrid.h).
   bool exhausted = false;
+  /// Lossy mode only: some hop spent its retry budget and no epoch could
+  /// heal it — the graceful no-verdict degradation (never a wrong
+  /// certificate; see core/lossy_route.h).
+  bool uncertified = false;
   std::uint64_t transmissions = 0;
   std::uint64_t admitted_at = 0;
-  std::uint64_t completed_at = 0;  ///< clock tick of completion
+  /// Clock tick of completion.  Perfect-link lanes complete exactly at
+  /// admitted_at + transmissions; lossy lanes may overshoot the round's
+  /// slot grant (one reliable hop is atomic and can burn many wire
+  /// frames), so their completion tick is airtime-approximate.
+  std::uint64_t completed_at = 0;
   /// Broadcast only: distinct original nodes the payload visited.
   std::uint64_t distinct_visited = 0;
   /// Dynamic mode only: epoch restarts and the epoch the verdict is about.
   std::uint64_t restarts = 0;
   std::uint64_t completion_epoch = 0;
+  /// Lossy mode only: successful link transfers and ARQ behaviour
+  /// (transmissions counts wire frames there, hops the walk length).
+  std::uint64_t hops = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t virtual_time = 0;  ///< channel virtual time consumed
 };
 
 /// Builds the probabilistic token of a kHybrid session.  The seed is
@@ -101,6 +116,26 @@ struct SessionReport {
 using WalkerFactory = std::function<std::unique_ptr<TokenWalker>(
     const graph::Graph& g, graph::NodeId s, graph::NodeId t,
     std::uint64_t ttl, std::uint64_t seed)>;
+
+/// The PR 7 transport-selection seam: when TrafficOptions::lossy is set,
+/// every route session runs over its OWN lossy channel + ARQ (state-
+/// disjoint per session, seeded counter_hash(net_seed, id) — thread-count
+/// invariant by construction) instead of a perfect link.  Session verdicts
+/// become per-session LossyVerdicts: delivered / failure-certified /
+/// uncertified-after-budget.  In dynamic mode the channel composes with
+/// churn (links flap AND drop in one replayable scenario); a session whose
+/// budget dies waits for the next epoch and degrades to kUncertified only
+/// once the schedule froze.
+struct LossyTrafficConfig {
+  net::LinkModel link{};            ///< channel model of every link
+  net::ReliableOptions reliable{};  ///< stop-and-wait budget / timeouts
+  net::WindowOptions window{};      ///< selective-repeat window / budgets
+  ArqKind arq = ArqKind::kStopAndWait;
+  std::uint64_t net_seed = 0x5eed0007;  ///< per-session channel seeds
+  /// P(directed cubic half-edge down), drawn per session (static) or per
+  /// (session, epoch) (dynamic) from dedicated streams.  0 disables.
+  double one_sided_down = 0.0;
+};
 
 struct TrafficOptions {
   std::uint64_t seq_seed = 0x5eed0001;  ///< T_n family seed
@@ -120,6 +155,9 @@ struct TrafficOptions {
   /// length; ignored in static mode.
   std::uint64_t epoch_period = 64;
   std::uint64_t max_epochs = 0;
+  /// Engaged: run every route session over a lossy channel + ARQ (route
+  /// sessions only; admit() throws for broadcast/hybrid in lossy mode).
+  std::optional<LossyTrafficConfig> lossy;
 };
 
 class TrafficEngine {

@@ -17,12 +17,22 @@ std::uint64_t timer_id(std::uint64_t k, std::uint32_t attempt) {
   return (k << 16) | attempt;
 }
 
+RtoOptions rto_options(const ReliableOptions& o) {
+  RtoOptions r;
+  r.initial = o.rto;
+  r.min = o.rto_min;
+  r.max = o.rto_max;
+  r.adaptive = o.adaptive_rto;
+  return r;
+}
+
 }  // namespace
 
 ReliableTransport::ReliableTransport(const graph::Graph& g, std::uint64_t seed,
                                      LinkModel defaults,
                                      ReliableOptions options)
-    : sim_(g, seed, defaults), options_(options) {
+    : sim_(g, seed, defaults), options_(options),
+      estimator_(rto_options(options)) {
   if (options_.rto == 0)
     throw std::invalid_argument("ReliableTransport: rto must be > 0");
   if (options_.rto_max < options_.rto)
@@ -36,7 +46,14 @@ ReliableOutcome ReliableTransport::send(graph::NodeId from,
   const std::uint64_t k = transfers_++;
   ReliableOutcome out;
   std::uint32_t attempt = 0;
-  SimTime rto = options_.rto;
+  // Fixed mode doubles a per-transfer local copy (the exact PR 6
+  // schedule); adaptive mode arms the shared estimator's timeout and
+  // backs IT off, so a congested/lossy past carries into the next
+  // transfer until a clean sample (Karn).
+  SimTime rto = options_.adaptive_rto ? estimator_.rto() : options_.rto;
+  out.first_rto = rto;
+  const SimTime start = sim_.now();
+  SimTime sent_at = start;
   sim_.send(from, out_port, data_id(k));
   ++out.data_copies;
   sim_.set_timer(rto, timer_id(k, attempt));
@@ -47,7 +64,17 @@ ReliableOutcome ReliableTransport::send(graph::NodeId from,
       if (ev->timer_id != timer_id(k, attempt)) continue;
       if (attempt >= options_.max_retries) break;  // budget spent: give up
       ++attempt;
-      rto = std::min(rto * 2, options_.rto_max);
+      ++out.retransmits;
+      ++out.backoffs;
+      ++total_retransmits_;
+      ++total_backoffs_;
+      if (options_.adaptive_rto) {
+        estimator_.backoff();
+        rto = estimator_.rto();
+      } else {
+        rto = std::min(rto * 2, options_.rto_max);
+      }
+      sent_at = sim_.now();
       sim_.send(from, out_port, data_id(k));
       ++out.data_copies;
       sim_.set_timer(rto, timer_id(k, attempt));
@@ -67,13 +94,21 @@ ReliableOutcome ReliableTransport::send(graph::NodeId from,
     }
     if (ev->frame_id == ack_id(k)) {
       // Any ack of this transfer confirms it; in-flight stragglers stay
-      // queued and are recognizably stale to later transfers.
+      // queued and are recognizably stale to later transfers.  Karn's
+      // rule: only a never-retransmitted transfer yields an unambiguous
+      // RTT (this ack could otherwise confirm any copy).
       out.delivered = true;
-      return out;
+      if (options_.adaptive_rto && out.retransmits == 0) {
+        estimator_.sample(sim_.now() - sent_at);
+        ++out.rtt_samples;
+      }
+      break;
     }
     // Late copy of a finished transfer: the endpoint logic that owned it
     // is closed — dropped on the floor, never re-acked.
   }
+  out.srtt = estimator_.srtt();
+  out.elapsed = sim_.now() - start;
   return out;
 }
 

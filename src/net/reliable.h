@@ -31,6 +31,7 @@
 
 #include <cstdint>
 
+#include "net/rto.h"
 #include "net/sim.h"
 #include "net/transport.h"
 
@@ -41,9 +42,20 @@ struct ReliableOptions {
   /// max_retries + 1 DATA copies per transfer.  Must be < 2^16 - 1.
   std::uint32_t max_retries = 8;
   /// Initial retransmission timeout (virtual time units); must be > 0.
+  /// With adaptive_rto this only seeds the estimator — after the first
+  /// clean sample the timeout tracks the measured RTT (net/rto.h).
   SimTime rto = 8;
   /// Backoff ceiling: the timeout doubles per retry, clamped here.
   SimTime rto_max = 1024;
+  /// Adaptive floor (adaptive mode only); must be > 0.
+  SimTime rto_min = 4;
+  /// Jacobson/Karn adaptation (net/rto.h).  false restores the exact PR 6
+  /// fixed-RTO schedule: every transfer starts at `rto` and doubles
+  /// locally.  true (the default) samples RTTs from never-retransmitted
+  /// transfers and carries backed-off timeouts across transfers until a
+  /// fresh sample — Karn's rule, still a pure function of the event
+  /// sequence.
+  bool adaptive_rto = true;
 };
 
 /// What one stop-and-wait transfer accomplished.
@@ -53,6 +65,13 @@ struct ReliableOutcome {
   Arrival arrival{};          ///< far end; valid when data_arrived
   std::uint32_t data_copies = 0;  ///< DATA frames put on the wire
   std::uint32_t ack_copies = 0;   ///< ACK frames put on the wire
+  // --- retransmission behaviour (the E13/E14 bench counters) --------------
+  std::uint32_t retransmits = 0;  ///< timeout-driven DATA resends
+  std::uint32_t backoffs = 0;     ///< RTO doublings applied
+  std::uint32_t rtt_samples = 0;  ///< clean samples fed to the estimator
+  SimTime srtt = 0;          ///< smoothed RTT after this transfer (0: none)
+  SimTime first_rto = 0;     ///< RTO armed for the initial copy
+  SimTime elapsed = 0;       ///< virtual time the transfer consumed
 };
 
 class ReliableTransport {
@@ -72,6 +91,13 @@ class ReliableTransport {
   /// Total wire frames (DATA + ACK copies, lost ones included).
   std::uint64_t frames() const { return sim_.transmissions(); }
 
+  // --- transport-lifetime retransmission aggregates ------------------------
+  std::uint64_t total_retransmits() const { return total_retransmits_; }
+  std::uint64_t total_backoffs() const { return total_backoffs_; }
+  std::uint64_t total_rtt_samples() const { return estimator_.samples(); }
+  /// The shared adaptive estimator (fixed at `rto` when !adaptive_rto).
+  const RtoEstimator& estimator() const { return estimator_; }
+
   const ReliableOptions& options() const { return options_; }
 
   /// The underlying simulator, for per-link overrides and one-sided flips.
@@ -81,7 +107,10 @@ class ReliableTransport {
  private:
   EventSim sim_;
   ReliableOptions options_;
+  RtoEstimator estimator_;
   std::uint64_t transfers_ = 0;
+  std::uint64_t total_retransmits_ = 0;
+  std::uint64_t total_backoffs_ = 0;
 };
 
 }  // namespace uesr::net

@@ -1,0 +1,175 @@
+#include "net/window.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uesr::net {
+
+namespace {
+
+// Frame-id packing, 64 bits: | transfer k (33b) | cum (15b) | frame (15b) |
+// kind (1b) |.  DATA leaves cum zero; ACKs carry (frame, cumulative).
+// Transfer ids make late copies of finished transfers recognizably stale,
+// exactly as in net/reliable.h.
+constexpr std::uint64_t kKindAck = 1;
+constexpr std::uint64_t kFieldMask = 0x7fff;  // 15 bits
+
+std::uint64_t data_id(std::uint64_t k, std::uint32_t f) {
+  return (k << 31) | (static_cast<std::uint64_t>(f) << 1);
+}
+std::uint64_t ack_id(std::uint64_t k, std::uint32_t f, std::uint32_t cum) {
+  return (k << 31) | (static_cast<std::uint64_t>(cum) << 16) |
+         (static_cast<std::uint64_t>(f) << 1) | kKindAck;
+}
+std::uint64_t transfer_of(std::uint64_t id) { return id >> 31; }
+bool is_ack(std::uint64_t id) { return (id & kKindAck) != 0; }
+std::uint32_t frame_of(std::uint64_t id) {
+  return static_cast<std::uint32_t>((id >> 1) & kFieldMask);
+}
+std::uint32_t cum_of(std::uint64_t id) {
+  return static_cast<std::uint32_t>((id >> 16) & kFieldMask);
+}
+
+// Timer ids carry (transfer, frame, attempt): a stale attempt's timer — or
+// any timer of a finished transfer — is inert.
+std::uint64_t timer_id(std::uint64_t k, std::uint32_t f,
+                       std::uint32_t attempt) {
+  return (k << 31) | (static_cast<std::uint64_t>(f) << 16) | attempt;
+}
+
+}  // namespace
+
+WindowTransport::WindowTransport(const graph::Graph& g, std::uint64_t seed,
+                                 LinkModel defaults, WindowOptions options)
+    : sim_(g, seed, defaults), options_(options), estimator_(options.rto) {
+  if (options_.window == 0)
+    throw std::invalid_argument("WindowTransport: window >= 1");
+  if (options_.frames_per_message == 0 ||
+      options_.frames_per_message > kFieldMask)
+    throw std::invalid_argument(
+        "WindowTransport: frames_per_message in [1, 2^15)");
+  if (options_.max_retries >= 0xffff)
+    throw std::invalid_argument("WindowTransport: max_retries too large");
+}
+
+WindowOutcome WindowTransport::send(graph::NodeId from,
+                                    graph::Port out_port) {
+  const std::uint64_t k = transfers_++;
+  const std::uint32_t F = options_.frames_per_message;
+  WindowOutcome out;
+  const SimTime start = sim_.now();
+
+  // Sender state, indexed by frame.
+  std::vector<char> acked(F, 0);
+  std::vector<char> retransmitted(F, 0);
+  std::vector<std::uint32_t> attempt(F, 0);
+  std::vector<std::uint32_t> retries(F, 0);
+  std::vector<SimTime> sent_at(F, 0);
+  // Fixed mode backs each frame's timeout off locally (the PR 6
+  // discipline, per frame); adaptive mode arms the shared estimator.
+  std::vector<SimTime> fixed_rto(options_.rto.adaptive ? 0 : F,
+                                 options_.rto.initial);
+  std::uint32_t base = 0;      // lowest unacked frame (window left edge)
+  std::uint32_t next_new = 0;  // next never-launched frame
+  std::uint32_t inflight = 0;
+  // Receiver state: the out-of-order buffer bitmap + cumulative counter.
+  std::vector<char> received(F, 0);
+  std::uint32_t cum = 0;  // frames [0, cum) delivered in order
+
+  const auto launch = [&](std::uint32_t f) {
+    sent_at[f] = sim_.now();
+    sim_.send(from, out_port, data_id(k, f));
+    ++out.data_copies;
+    const SimTime rto =
+        options_.rto.adaptive ? estimator_.rto() : fixed_rto[f];
+    sim_.set_timer(rto, timer_id(k, f, attempt[f]));
+  };
+  const auto fill = [&] {
+    while (next_new < F && inflight < options_.window) {
+      launch(next_new);
+      ++inflight;
+      ++next_new;
+    }
+  };
+  const auto retire = [&](std::uint32_t f, bool clean_sample) {
+    if (acked[f]) return;
+    acked[f] = 1;
+    --inflight;
+    // Karn's rule: only a frame that was never retransmitted yields an
+    // unambiguous RTT (its ack cannot be confirming an earlier copy).
+    if (clean_sample && !retransmitted[f] && options_.rto.adaptive) {
+      estimator_.sample(sim_.now() - sent_at[f]);
+      ++out.rtt_samples;
+    }
+  };
+
+  fill();
+  while (auto ev = sim_.next()) {
+    if (ev->kind == SimEventKind::kTimer) {
+      if (transfer_of(ev->timer_id) != k) continue;  // stale transfer
+      const std::uint32_t f =
+          static_cast<std::uint32_t>((ev->timer_id >> 16) & kFieldMask);
+      const std::uint32_t att =
+          static_cast<std::uint32_t>(ev->timer_id & 0xffff);
+      if (acked[f] || att != attempt[f]) continue;  // stale attempt
+      if (retries[f] >= options_.max_retries)
+        break;  // this frame's budget is spent: the transfer dies
+      ++retries[f];
+      ++attempt[f];
+      ++out.retransmits;
+      ++total_retransmits_;
+      retransmitted[f] = 1;
+      // Backoff discipline: only the window's OLDEST unacked frame doubles
+      // the shared estimator (TCP's single-timer semantics).  A burst that
+      // loses k frames must cost one doubling per RTO period, not 2^k —
+      // per-frame doubling would explode the timeout and erase the
+      // pipeline's advantage.  Fixed mode keeps the per-frame PR 6
+      // schedule.
+      if (options_.rto.adaptive) {
+        if (f == base) {
+          estimator_.backoff();
+          ++out.backoffs;
+          ++total_backoffs_;
+        }
+      } else {
+        fixed_rto[f] = std::min(fixed_rto[f] * 2, options_.rto.max);
+        ++out.backoffs;
+        ++total_backoffs_;
+      }
+      launch(f);
+      continue;
+    }
+    if (transfer_of(ev->frame_id) != k) continue;  // stale transfer's frame
+    const std::uint32_t f = frame_of(ev->frame_id);
+    if (!is_ack(ev->frame_id)) {
+      // Receiver: buffer the frame (exactly once — dups and late copies
+      // hit the bitmap), slide the cumulative counter, ack EVERY copy.
+      if (!out.message_arrived) out.arrival = Arrival{ev->node, ev->port};
+      if (!received[f]) {
+        received[f] = 1;
+        while (cum < F && received[cum]) ++cum;
+      }
+      if (cum == F) out.message_arrived = true;
+      sim_.send(ev->node, ev->port, ack_id(k, f, cum));
+      ++out.ack_copies;
+      continue;
+    }
+    // Sender: one ack retires its frame selectively and everything below
+    // its cumulative watermark.
+    retire(f, /*clean_sample=*/true);
+    const std::uint32_t watermark = std::min(cum_of(ev->frame_id), F);
+    for (std::uint32_t j = base; j < watermark; ++j)
+      retire(j, /*clean_sample=*/false);
+    while (base < F && acked[base]) ++base;
+    if (base == F) {
+      out.delivered = true;
+      break;
+    }
+    fill();
+  }
+  out.srtt = estimator_.srtt();
+  out.elapsed = sim_.now() - start;
+  return out;
+}
+
+}  // namespace uesr::net

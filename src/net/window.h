@@ -1,0 +1,127 @@
+// Selective-repeat sliding-window ARQ over the lossy event simulator —
+// the pipelined reliable layer that replaces stop-and-wait's
+// one-frame-per-RTT bottleneck (ISSUE 7 tentpole; SNIPPETS.md's
+// selective-repeat sender/receiver queues reduced to their invariant).
+//
+// One send() moves one MESSAGE of `frames_per_message` frames across the
+// edge at (from, out_port), keeping up to `window` frames in flight at
+// once:
+//
+//   * the sender launches frames into the window, arms one retransmission
+//     timer per in-flight frame, and resends exactly the frames whose
+//     timers fire (selective repeat — never go-back-N's wasteful replay);
+//   * the receiver buffers out-of-order arrivals in a bitmap and acks
+//     EVERY copy it sees with a (frame, cumulative) pair: the selective
+//     half retires that frame from the sender's window, the cumulative
+//     half retires every frame below it — so one surviving ack can repair
+//     many lost ones;
+//   * frames are processed exactly once and the message is complete only
+//     when the receiver's cumulative counter covers it — exactly-once,
+//     in-order delivery by construction.
+//
+// The contract mirrors net/reliable.h one level up:
+//
+//   * delivered == true   — every frame of the message was acked: the far
+//                           end provably holds the whole message, in
+//                           order, exactly once.
+//   * delivered == false  — some frame spent its per-frame retry budget;
+//                           the sender knows nothing (any subset of frames
+//                           and acks may be the lost half — the same
+//                           two-generals gap).  `message_arrived` is the
+//                           simulator's ground truth, for soundness tests
+//                           only.
+//
+// Timeouts come from the shared Jacobson/Karn estimator (net/rto.h):
+// never-retransmitted frames feed it unambiguous RTT samples, timeouts
+// back it off, and the backed-off value persists until the next clean
+// sample.  Every schedule remains a pure function of (graph, seed, call
+// sequence) — the adaptation consumes no randomness of its own — so
+// enable_trace() replay stays byte-identical and reports thread-count
+// invariant (pinned by the window replay-regression test).
+//
+// With window == 1 the pipeline degenerates to stop-and-wait pacing —
+// that is the E14 baseline the sliding window is measured against; the
+// bench sweeps window x loss and reports virtual time per delivered
+// message.
+//
+// Model note: selective repeat needs O(window) bits of LINK-layer state
+// per endpoint (the in-flight bitmap).  The ROUTING layer above stays
+// stateless — the paper's model constrains the routing layer, not the
+// radio (same argument as net/reliable.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rto.h"
+#include "net/sim.h"
+#include "net/transport.h"
+
+namespace uesr::net {
+
+struct WindowOptions {
+  /// In-flight frame cap; 1 degenerates to stop-and-wait pacing.  >= 1.
+  std::uint32_t window = 8;
+  /// Frames per message (the segmentation that makes the window matter
+  /// across one hop).  In [1, 2^15).
+  std::uint32_t frames_per_message = 8;
+  /// Per-frame retransmission budget; a single frame exhausting it aborts
+  /// the whole transfer.  Must be < 2^16 - 1.
+  std::uint32_t max_retries = 8;
+  /// Timeout estimation (shared Jacobson/Karn state across transfers).
+  RtoOptions rto{};
+};
+
+/// What one sliding-window message transfer accomplished.
+struct WindowOutcome {
+  bool delivered = false;        ///< all frames acked: exactly-once, in order
+  bool message_arrived = false;  ///< ground truth: receiver holds all frames
+  Arrival arrival{};             ///< far end; valid once any DATA arrived
+  std::uint32_t data_copies = 0;  ///< DATA frames put on the wire
+  std::uint32_t ack_copies = 0;   ///< ACK frames put on the wire
+  std::uint32_t retransmits = 0;  ///< timeout-driven DATA resends
+  std::uint32_t backoffs = 0;     ///< RTO doublings applied
+  std::uint32_t rtt_samples = 0;  ///< clean samples fed to the estimator
+  SimTime srtt = 0;     ///< smoothed RTT after this transfer (0: none)
+  SimTime elapsed = 0;  ///< virtual time the transfer consumed
+};
+
+class WindowTransport {
+ public:
+  /// The graph must outlive the transport.  Throws on invalid options.
+  WindowTransport(const graph::Graph& g, std::uint64_t seed,
+                  LinkModel defaults = {}, WindowOptions options = {});
+
+  /// One selective-repeat message transfer across the edge at
+  /// (from, out_port), blocking in VIRTUAL time: drives the simulator
+  /// until every frame is acked or some frame's retry budget is spent.
+  /// Every DATA and ACK copy counts one wire transmission.
+  WindowOutcome send(graph::NodeId from, graph::Port out_port);
+
+  /// Completed send() calls so far (delivered or not).
+  std::uint64_t transfers() const { return transfers_; }
+  /// Total wire frames (DATA + ACK copies, lost ones included).
+  std::uint64_t frames() const { return sim_.transmissions(); }
+
+  // --- transport-lifetime retransmission aggregates ------------------------
+  std::uint64_t total_retransmits() const { return total_retransmits_; }
+  std::uint64_t total_backoffs() const { return total_backoffs_; }
+  std::uint64_t total_rtt_samples() const { return estimator_.samples(); }
+  const RtoEstimator& estimator() const { return estimator_; }
+
+  const WindowOptions& options() const { return options_; }
+
+  /// The underlying simulator, for per-link overrides and one-sided flips.
+  EventSim& sim() { return sim_; }
+  const EventSim& sim() const { return sim_; }
+
+ private:
+  EventSim sim_;
+  WindowOptions options_;
+  RtoEstimator estimator_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t total_retransmits_ = 0;
+  std::uint64_t total_backoffs_ = 0;
+};
+
+}  // namespace uesr::net

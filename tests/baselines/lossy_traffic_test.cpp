@@ -1,0 +1,247 @@
+// E14 kernel tests: the lossy TrafficEngine must stay SOUND — never a
+// wrong certificate — under every composition of loss, duplication,
+// one-sided links, churn, and load, and its cells must replay
+// bit-identically for any thread count (PR 3 convention).
+#include "baselines/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/traffic.h"
+#include "graph/churn.h"
+#include "graph/generators.h"
+
+namespace uesr::baselines {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Two components: certificates must join every tally.
+Graph split_graph() {
+  const Graph a = graph::connected_gnp(4, 0.6, 27);
+  const Graph b = graph::connected_gnp(4, 0.6, 28);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const Graph* g : {&a, &b}) {
+    const NodeId base_id = g == &b ? 4u : 0u;
+    for (NodeId v = 0; v < g->num_nodes(); ++v)
+      for (graph::Port q = 0; q < g->degree(v); ++q) {
+        const graph::HalfEdge far = g->rotate(v, q);
+        if (far.node > v || (far.node == v && far.port >= q))
+          edges.emplace_back(base_id + v, base_id + far.node);
+      }
+  }
+  return graph::from_edges(8, edges);
+}
+
+graph::NodeChurnScenario churn_scenario() {
+  return graph::NodeChurnScenario(graph::connected_gnp(12, 0.3, 5), 0.3,
+                                  0.45, 11);
+}
+
+TEST(LossyTraffic, ZeroLossConnectedDeliversEverything) {
+  const Graph g = graph::connected_gnp(8, 0.4, 21);
+  const Workload w = all_pairs_workload(8);
+  core::LossyTrafficConfig cfg;
+  const LossyTrafficCell cell =
+      lossy_traffic_experiment(g, w, cfg, /*seq_seed=*/7, /*threads=*/1);
+  EXPECT_EQ(cell.sessions, 56);
+  EXPECT_EQ(cell.delivered, 56);
+  EXPECT_EQ(cell.certified, 0);
+  EXPECT_EQ(cell.uncertified, 0);
+  EXPECT_EQ(cell.unsound, 0);
+  // Stop-and-wait on perfect links: exactly one ack per successful hop.
+  EXPECT_EQ(cell.wire_frames, 2 * cell.hops);
+  EXPECT_EQ(cell.retransmits, 0u);
+}
+
+TEST(LossyTraffic, SelectiveRepeatAtZeroLossMatchesStopAndWaitVerdicts) {
+  const Graph g = split_graph();
+  const Workload w = all_pairs_workload(8);
+  core::LossyTrafficConfig sw;
+  core::LossyTrafficConfig sr = sw;
+  sr.arq = core::ArqKind::kSelectiveRepeat;
+  sr.window.frames_per_message = 2;
+  const LossyTrafficCell a = lossy_traffic_experiment(g, w, sw, 7, 1);
+  const LossyTrafficCell b = lossy_traffic_experiment(g, w, sr, 7, 1);
+  // Same walks, same verdicts — the ARQ only changes the wire framing.
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.certified, b.certified);
+  EXPECT_EQ(a.uncertified, 0);
+  EXPECT_EQ(b.uncertified, 0);
+  EXPECT_EQ(a.hops, b.hops);
+  EXPECT_EQ(a.unsound, 0);
+  EXPECT_EQ(b.unsound, 0);
+  EXPECT_GT(a.certified, 0);  // the split really produced certificates
+}
+
+// The adversarial static sweeps: dup-only, loss-only, loss+dup, and the
+// one-sided regime, for both ARQs.  Soundness is absolute (unsound == 0)
+// and every session resolves to exactly one verdict.
+TEST(LossyTraffic, StaticRegimeSweepsStaySound) {
+  const Graph g = split_graph();
+  const Workload w = all_pairs_workload(8);
+  struct Regime {
+    const char* name;
+    double loss, dup, one_sided;
+  };
+  const Regime regimes[] = {
+      {"dup-only", 0.0, 0.6, 0.0},
+      {"loss-only", 0.25, 0.0, 0.0},
+      {"loss+dup", 0.2, 0.3, 0.0},
+      {"one-sided", 0.05, 0.0, 0.15},
+  };
+  for (const Regime& r : regimes) {
+    for (core::ArqKind arq :
+         {core::ArqKind::kStopAndWait, core::ArqKind::kSelectiveRepeat}) {
+      core::LossyTrafficConfig cfg;
+      cfg.link.loss = r.loss;
+      cfg.link.dup = r.dup;
+      cfg.link.latency_max = 4;
+      cfg.one_sided_down = r.one_sided;
+      cfg.arq = arq;
+      cfg.reliable.max_retries = 6;
+      cfg.window.max_retries = 6;
+      cfg.window.frames_per_message = 2;
+      cfg.window.window = 2;
+      const LossyTrafficCell cell =
+          lossy_traffic_experiment(g, w, cfg, 99, 1);
+      EXPECT_EQ(cell.unsound, 0) << r.name;
+      EXPECT_EQ(cell.delivered + cell.certified + cell.uncertified,
+                cell.sessions)
+          << r.name;
+    }
+  }
+}
+
+// Dup alone can never exhaust a budget: every session still resolves hard.
+TEST(LossyTraffic, DupOnlyNeverDegradesToUncertified) {
+  const Graph g = split_graph();
+  const Workload w = all_pairs_workload(8);
+  core::LossyTrafficConfig cfg;
+  cfg.link.dup = 1.0;  // constant latency: the adaptive RTO never fires
+  const LossyTrafficCell cell = lossy_traffic_experiment(g, w, cfg, 5, 1);
+  EXPECT_EQ(cell.uncertified, 0);
+  EXPECT_EQ(cell.unsound, 0);
+  EXPECT_EQ(cell.retransmits, 0u);
+}
+
+// The composed fault regime of the tentpole: links flap (churn epochs) AND
+// drop frames (lossy channel) in one replayable run.
+TEST(LossyTraffic, ComposedLossAndChurnStaysSound) {
+  auto sc = churn_scenario();
+  const Workload w = all_pairs_workload(12);
+  for (core::ArqKind arq :
+       {core::ArqKind::kStopAndWait, core::ArqKind::kSelectiveRepeat}) {
+    core::LossyTrafficConfig cfg;
+    cfg.link.loss = 0.1;
+    cfg.arq = arq;
+    cfg.reliable.max_retries = 5;
+    cfg.window.max_retries = 5;
+    cfg.window.frames_per_message = 4;
+    const LossyTrafficCell cell = lossy_traffic_experiment(
+        sc, /*epoch_period=*/64, /*max_epochs=*/12, w, cfg, 17, 1);
+    EXPECT_EQ(cell.sessions, 132);
+    EXPECT_EQ(cell.unsound, 0);
+    EXPECT_EQ(cell.delivered + cell.certified + cell.uncertified,
+              cell.sessions);
+  }
+}
+
+// Termination under the worst case: a dead channel blocks every session
+// each epoch; once the schedule freezes the engine must resolve them all
+// to kUncertified instead of spinning.
+TEST(LossyTraffic, FrozenScheduleResolvesBlockedSessionsToUncertified) {
+  auto sc = churn_scenario();
+  const Workload w = all_pairs_workload(8);
+  core::LossyTrafficConfig cfg;
+  cfg.link.loss = 1.0;
+  cfg.reliable.max_retries = 2;
+  const LossyTrafficCell cell =
+      lossy_traffic_experiment(sc, 32, /*max_epochs=*/3, w, cfg, 23, 1);
+  EXPECT_EQ(cell.sessions, 56);
+  EXPECT_EQ(cell.delivered, 0);
+  EXPECT_EQ(cell.certified, 0);
+  EXPECT_EQ(cell.uncertified, 56);
+  EXPECT_EQ(cell.unsound, 0);
+}
+
+TEST(LossyTraffic, AdmitRejectsNonRouteSessions) {
+  const Graph g = graph::connected_gnp(8, 0.4, 3);
+  core::TrafficOptions opt;
+  opt.lossy = core::LossyTrafficConfig{};
+  core::TrafficEngine engine(g, opt);
+  core::SessionSpec spec;
+  spec.kind = core::TrafficKind::kBroadcast;
+  spec.s = 0;
+  EXPECT_THROW(engine.admit(spec), std::invalid_argument);
+  spec.kind = core::TrafficKind::kHybrid;
+  spec.t = 1;
+  EXPECT_THROW(engine.admit(spec), std::invalid_argument);
+}
+
+// The E14 headline comparison: at loss 0.1 the pipelined window moves a
+// multi-frame payload in measurably less virtual time per delivered route
+// than stop-and-wait pacing (window = 1) of the same framing.
+TEST(LossyTraffic, SelectiveRepeatBeatsWindowOnePacingAtLossTen) {
+  const Graph g = graph::connected_gnp(10, 0.35, 31);
+  const Workload w = all_pairs_workload(10);
+  core::LossyTrafficConfig paced;
+  paced.link.loss = 0.1;
+  paced.arq = core::ArqKind::kSelectiveRepeat;
+  paced.window.frames_per_message = 16;
+  paced.window.max_retries = 16;
+  paced.window.window = 1;
+  core::LossyTrafficConfig pipelined = paced;
+  pipelined.window.window = 16;
+  const LossyTrafficCell slow = lossy_traffic_experiment(g, w, paced, 7, 1);
+  const LossyTrafficCell fast =
+      lossy_traffic_experiment(g, w, pipelined, 7, 1);
+  ASSERT_GT(slow.delivered, 0);
+  ASSERT_GT(fast.delivered, 0);
+  const double slow_vtime =
+      static_cast<double>(slow.vtime_delivered) / slow.delivered;
+  const double fast_vtime =
+      static_cast<double>(fast.vtime_delivered) / fast.delivered;
+  EXPECT_LT(fast_vtime, slow_vtime);
+  EXPECT_EQ(slow.unsound, 0);
+  EXPECT_EQ(fast.unsound, 0);
+}
+
+// The PR 3 determinism contract extended to E14: every cell of the lossy
+// traffic kernel is bit-identical for any thread count.
+TEST(ThreadInvariance, LossyTrafficStatic) {
+  const Graph g = split_graph();
+  const Workload w = poisson_workload(8, 48, 1.5, 77);
+  core::LossyTrafficConfig cfg;
+  cfg.link.loss = 0.15;
+  cfg.link.dup = 0.05;
+  cfg.link.latency_max = 4;
+  cfg.one_sided_down = 0.05;
+  cfg.reliable.max_retries = 6;
+  const LossyTrafficCell base = lossy_traffic_experiment(g, w, cfg, 123, 1);
+  EXPECT_EQ(base.unsound, 0);
+  for (unsigned t : {4u, 8u})
+    EXPECT_EQ(base, lossy_traffic_experiment(g, w, cfg, 123, t))
+        << "threads=" << t;
+}
+
+TEST(ThreadInvariance, LossyTrafficChurn) {
+  auto sc = churn_scenario();
+  const Workload w = poisson_workload(12, 48, 1.0, 91);
+  core::LossyTrafficConfig cfg;
+  cfg.link.loss = 0.1;
+  cfg.arq = core::ArqKind::kSelectiveRepeat;
+  cfg.window.frames_per_message = 4;
+  cfg.window.max_retries = 5;
+  const LossyTrafficCell base =
+      lossy_traffic_experiment(sc, 48, 10, w, cfg, 321, 1);
+  EXPECT_EQ(base.unsound, 0);
+  for (unsigned t : {4u, 8u})
+    EXPECT_EQ(base, lossy_traffic_experiment(sc, 48, 10, w, cfg, 321, t))
+        << "threads=" << t;
+}
+
+}  // namespace
+}  // namespace uesr::baselines

@@ -98,6 +98,10 @@ TEST(ReliableTransport, DuplicationAloneCannotBreakExactlyOnce) {
   m.latency_max = 13;
   ReliableOptions opts;
   opts.rto = 64;  // > worst-case RTT: no spurious timeout retransmits
+  // Pin the fixed-RTO regime: an adaptive estimator would converge to the
+  // mean RTT and time out on the 13-tick jitter tail, which is allowed
+  // behaviour but not what this test is about.
+  opts.adaptive_rto = false;
   ReliableTransport rt(g, 3, m, opts);
   for (int i = 0; i < 20; ++i) {
     ReliableOutcome out = rt.send(0, 0);
@@ -107,6 +111,48 @@ TEST(ReliableTransport, DuplicationAloneCannotBreakExactlyOnce) {
     // copies are dups, not sends.
     EXPECT_EQ(out.data_copies, 1u);
   }
+}
+
+TEST(ReliableTransport, AdaptiveRtoConvergesOnCleanLink) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  ReliableTransport rt(g, 3);  // adaptive_rto defaults on
+  SimTime first = 0;
+  for (int i = 0; i < 16; ++i) {
+    ReliableOutcome out = rt.send(0, 0);
+    ASSERT_TRUE(out.delivered);
+    EXPECT_EQ(out.retransmits, 0u);
+    EXPECT_EQ(out.rtt_samples, 1u);  // one clean Karn sample per transfer
+    if (i == 0) {
+      first = out.first_rto;
+      EXPECT_EQ(first, 8u);  // seeded from options().rto
+    }
+  }
+  EXPECT_EQ(rt.estimator().srtt(), 2u);  // unit latency each way
+  // The working RTO tracked the measured RTT down from the initial 8.
+  EXPECT_EQ(rt.estimator().rto(), 5u);
+  EXPECT_EQ(rt.total_rtt_samples(), 16u);
+}
+
+TEST(ReliableTransport, KarnBackoffPersistsAcrossTransfersUntilSampled) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  ReliableOptions opts;
+  opts.max_retries = 4;
+  ReliableTransport rt(g, 3, {}, opts);
+  rt.sim().set_link_up(0, 0, false);  // forward dead: timeouts only
+  ReliableOutcome failed = rt.send(0, 0);
+  EXPECT_FALSE(failed.delivered);
+  EXPECT_GT(failed.backoffs, 0u);
+  EXPECT_EQ(failed.rtt_samples, 0u);  // ambiguous copies feed nothing
+  const SimTime backed_off = rt.estimator().rto();
+  EXPECT_GT(backed_off, opts.rto);
+  rt.sim().set_link_up(0, 0, true);
+  ReliableOutcome healed = rt.send(0, 0);
+  EXPECT_TRUE(healed.delivered);
+  // Karn: the backed-off timeout was still armed for the first copy after
+  // healing; the clean sample then ended the backoff.
+  EXPECT_EQ(healed.first_rto, backed_off);
+  EXPECT_EQ(healed.rtt_samples, 1u);
+  EXPECT_LT(rt.estimator().rto(), backed_off);
 }
 
 TEST(ReliableTransport, StaleFramesOfEarlierTransfersAreIgnored) {

@@ -16,7 +16,10 @@
 //   P9  the lossy transport degenerates exactly: at loss = 0, zero
 //       jitter, bidirectional links, net::LossyTransport replays the
 //       arrival sequence and transmission count of net::Transport over
-//       the same walk.
+//       the same walk;
+//   P10 both ARQs degenerate to the same walk: at loss = 0 the sliding
+//       window (net::WindowTransport) is arrival-for-arrival identical
+//       to stop-and-wait (net::ReliableTransport) on every topology.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -31,7 +34,9 @@
 #include "graph/generators.h"
 #include "graph/geometric.h"
 #include "net/lossy_transport.h"
+#include "net/reliable.h"
 #include "net/transport.h"
+#include "net/window.h"
 #include "util/rng.h"
 
 namespace uesr {
@@ -248,6 +253,38 @@ TEST_P(GraphZoo, LossyTransportAtZeroLossReplaysTransport) {
   }
   EXPECT_EQ(perfect.transmissions(), lossy.transmissions());
   EXPECT_EQ(lossy.transmissions(), 300u);
+}
+
+// ---- P10: both ARQs degenerate to the same walk ------------------------
+// At loss 0 the sliding window is invisible to the routing layer: on every
+// zoo topology, selective repeat hands back the same arrival, hop for hop,
+// as stop-and-wait — the transport-selection seam cannot change a walk.
+
+TEST_P(GraphZoo, WindowArqAtZeroLossMatchesStopAndWaitArrivals) {
+  if (g_.num_nodes() == 0 || g_.degree(0) == 0) GTEST_SKIP();
+  net::ReliableTransport sw(g_, /*seed=*/0x5eed000a, {}, {});
+  net::WindowOptions wopt;
+  wopt.frames_per_message = 4;
+  wopt.window = 2;
+  net::WindowTransport sr(g_, /*seed=*/0x5eed000b, {}, wopt);
+  util::Pcg32 walk(0xa7);
+  graph::NodeId at = 0;
+  for (int i = 0; i < 200; ++i) {
+    const graph::Port out = walk.next_below(g_.degree(at));
+    const net::ReliableOutcome a = sw.send(at, out);
+    const net::WindowOutcome b = sr.send(at, out);
+    ASSERT_TRUE(a.delivered) << "step " << i;
+    ASSERT_TRUE(b.delivered) << "step " << i;
+    ASSERT_EQ(a.arrival.node, b.arrival.node) << "step " << i;
+    ASSERT_EQ(a.arrival.port, b.arrival.port) << "step " << i;
+    EXPECT_EQ(a.retransmits, 0u) << "step " << i;
+    EXPECT_EQ(b.retransmits, 0u) << "step " << i;
+    at = a.arrival.node;
+  }
+  // Clean links: one DATA + one ACK per frame, no resends anywhere.
+  EXPECT_EQ(sr.frames(), 200u * 2 * wopt.frames_per_message);
+  EXPECT_EQ(sr.total_retransmits(), 0u);
+  EXPECT_EQ(sw.total_retransmits(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
