@@ -45,6 +45,9 @@ LossyRouteSession::LossyRouteSession(const explore::ReducedGraph& net,
                 options_.reliable);
   else
     sr_.emplace(net.cubic, options_.net_seed, options_.link, options_.window);
+  // Arm the fault schedule before any frame moves: every entry lands at
+  // its exact plan time, interleaved with the walk's transfers.
+  options_.faults.arm(sw_ ? sw_->sim() : sr_->sim());
   header_.kind = t == net::kNoTarget ? Kind::kBroadcast : Kind::kRoute;
   header_.source = s;
   header_.target = t;
@@ -214,6 +217,20 @@ void LossyDynamicRouteSession::rebuild() {
   else
     e->sr.emplace(e->reduced.cubic, channel_seed, options_.link,
                   options_.window);
+  {
+    // Per-epoch chaos: the scripted plan re-arms fresh (plan times are in
+    // per-epoch virtual time — each epoch owns a new channel at t = 0),
+    // and the sampled plan is a pure function of (epoch cubic, config,
+    // counter_hash(chaos_seed, epoch)) — replayable composition of churn,
+    // loss, and faults.
+    net::EventSim& sim = e->sw ? e->sw->sim() : e->sr->sim();
+    options_.faults.fresh().arm(sim);
+    if (options_.chaos)
+      net::FaultPlan::sample(
+          e->reduced.cubic, *options_.chaos,
+          util::counter_hash(options_.chaos_seed, session_epoch_))
+          .arm(sim);
+  }
   if (options_.one_sided_down > 0.0) {
     // One-sided direction kills, re-drawn per epoch from their own stream
     // (never the channel's — the draws must not perturb frame schedules).

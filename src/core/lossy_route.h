@@ -54,6 +54,7 @@
 #include "explore/degree_reduce.h"
 #include "explore/sequence.h"
 #include "graph/dynamic.h"
+#include "net/faults.h"
 #include "net/reliable.h"
 #include "net/window.h"
 
@@ -87,6 +88,12 @@ struct LossyRouteOptions {
   net::WindowOptions window{};      ///< selective-repeat window / budgets
   ArqKind arq = ArqKind::kStopAndWait;
   std::uint64_t net_seed = 0x5eed0006;  ///< channel randomness
+  /// Fault schedule armed into the session's simulator at construction
+  /// (crash windows, brownouts, corruption bursts — DESIGN.md §2.12).
+  /// Pure data, so the same options replay the same chaos.  A hop that
+  /// spends its budget against a crashed node degrades to kUncertified —
+  /// never a wrong certificate.
+  net::FaultPlan faults{};
 };
 
 /// Resumable lossy routing: each step() performs one reliable hop (or
@@ -174,6 +181,14 @@ struct LossyDynamicOptions {
   /// counter_hash(net_seed, epoch) — the one-sided fault regime composed
   /// with churn and loss.  0 disables.
   double one_sided_down = 0.0;
+  /// Fault schedule re-armed into EVERY epoch's fresh channel (the plan is
+  /// in per-epoch virtual time; fresh() per the PR 4 convention).
+  net::FaultPlan faults{};
+  /// When set, each epoch additionally arms a plan SAMPLED from
+  /// FaultPlan::sample(epoch cubic, *chaos, counter_hash(chaos_seed,
+  /// epoch)) — churn, loss, and chaos composed in one replayable schedule.
+  std::optional<net::ChaosConfig> chaos{};
+  std::uint64_t chaos_seed = 0x5eedc4a0;  ///< chaos sampling randomness
 };
 
 /// Algorithm Route under loss AND churn at once: reliable ARQ hops driven

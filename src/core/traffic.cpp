@@ -158,6 +158,10 @@ struct LossyRouteLane final : TrafficEngine::Lane {
     options.window = cfg.window;
     options.arq = cfg.arq;
     options.net_seed = util::counter_hash(cfg.net_seed, id);
+    options.faults = cfg.faults;
+    if (cfg.chaos)
+      options.faults.merge(net::FaultPlan::sample(
+          net.cubic, *cfg.chaos, util::counter_hash(cfg.chaos_seed, id)));
     session.emplace(net, seq, s, t, options);
     if (cfg.one_sided_down > 0.0) {
       // Per-session direction kills from a dedicated stream (never the
@@ -209,6 +213,9 @@ struct LossyDynamicRouteLane final : TrafficEngine::Lane {
           options.seq_seed = seq_seed;
           options.net_seed = util::counter_hash(cfg.net_seed, id);
           options.one_sided_down = cfg.one_sided_down;
+          options.faults = cfg.faults;
+          options.chaos = cfg.chaos;
+          options.chaos_seed = util::counter_hash(cfg.chaos_seed, id);
           return options;
         }()) {}
   void step() override { session.step(); }

@@ -135,6 +135,15 @@ struct LossyTrafficConfig {
   /// P(directed cubic half-edge down), drawn per session (static) or per
   /// (session, epoch) (dynamic) from dedicated streams.  0 disables.
   double one_sided_down = 0.0;
+  /// Scripted fault schedule armed into EVERY session's private channel
+  /// (crash windows, brownouts, corruption bursts — DESIGN.md §2.12).
+  net::FaultPlan faults{};
+  /// When set, each session's channel additionally arms a chaos plan
+  /// sampled per session id (static) or per (session, epoch) (dynamic)
+  /// from counter_hash(chaos_seed, id) — replayable and thread-count
+  /// invariant like every other per-session stream.
+  std::optional<net::ChaosConfig> chaos{};
+  std::uint64_t chaos_seed = 0x5eedc4a0;  ///< chaos sampling randomness
 };
 
 struct TrafficOptions {

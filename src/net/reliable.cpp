@@ -41,16 +41,39 @@ ReliableTransport::ReliableTransport(const graph::Graph& g, std::uint64_t seed,
     throw std::invalid_argument("ReliableTransport: max_retries too large");
 }
 
+RtoEstimator& ReliableTransport::working_estimator(std::uint64_t link) {
+  if (!options_.adaptive_rto || !options_.per_link_rto) return estimator_;
+  if (link_estimators_.empty())
+    link_estimators_.assign(sim_.num_links(),
+                            RtoEstimator(rto_options(options_)));
+  return link_estimators_[link];
+}
+
+const RtoEstimator& ReliableTransport::link_estimator(graph::NodeId u,
+                                                      graph::Port p) const {
+  const std::uint64_t link = sim_.link_index(u, p);
+  if (link_estimators_.empty()) return estimator_;  // never engaged
+  return link_estimators_[link];
+}
+
+std::uint64_t ReliableTransport::total_rtt_samples() const {
+  std::uint64_t total = estimator_.samples();
+  for (const RtoEstimator& e : link_estimators_) total += e.samples();
+  return total;
+}
+
 ReliableOutcome ReliableTransport::send(graph::NodeId from,
                                         graph::Port out_port) {
   const std::uint64_t k = transfers_++;
   ReliableOutcome out;
   std::uint32_t attempt = 0;
   // Fixed mode doubles a per-transfer local copy (the exact PR 6
-  // schedule); adaptive mode arms the shared estimator's timeout and
+  // schedule); adaptive mode arms the working estimator's timeout and
   // backs IT off, so a congested/lossy past carries into the next
-  // transfer until a clean sample (Karn).
-  SimTime rto = options_.adaptive_rto ? estimator_.rto() : options_.rto;
+  // transfer until a clean sample (Karn).  The working estimator is the
+  // transport-wide one, or this link's own under per_link_rto.
+  RtoEstimator& est = working_estimator(sim_.link_index(from, out_port));
+  SimTime rto = options_.adaptive_rto ? est.rto() : options_.rto;
   out.first_rto = rto;
   const SimTime start = sim_.now();
   SimTime sent_at = start;
@@ -69,8 +92,8 @@ ReliableOutcome ReliableTransport::send(graph::NodeId from,
       ++total_retransmits_;
       ++total_backoffs_;
       if (options_.adaptive_rto) {
-        estimator_.backoff();
-        rto = estimator_.rto();
+        est.backoff();
+        rto = est.rto();
       } else {
         rto = std::min(rto * 2, options_.rto_max);
       }
@@ -80,10 +103,18 @@ ReliableOutcome ReliableTransport::send(graph::NodeId from,
       sim_.set_timer(rto, timer_id(k, attempt));
       continue;
     }
+    if (ev->corrupted) {
+      // The frame check sequence failed: whatever this was — DATA or ACK —
+      // it is dropped unprocessed.  Detected corruption degrades to loss;
+      // the retransmit timer recovers it.
+      ++out.corrupt_drops;
+      continue;
+    }
     if (ev->frame_id == data_id(k)) {
       // A copy reached the far end.  The receiver acks every copy (acks
       // can be lost) but processes only the first — exactly-once by
-      // transfer id.
+      // transfer id (durable: a crash cannot un-process it, so recovery
+      // never double-delivers).
       if (!out.data_arrived) {
         out.data_arrived = true;
         out.arrival = Arrival{ev->node, ev->port};
@@ -99,15 +130,18 @@ ReliableOutcome ReliableTransport::send(graph::NodeId from,
       // RTT (this ack could otherwise confirm any copy).
       out.delivered = true;
       if (options_.adaptive_rto && out.retransmits == 0) {
-        estimator_.sample(sim_.now() - sent_at);
+        est.sample(sim_.now() - sent_at);
         ++out.rtt_samples;
       }
+      // The pending attempt timer is dead weight: lazily cancel it so
+      // long runs never accumulate stale timers in the heap.
+      sim_.cancel_timer(timer_id(k, attempt));
       break;
     }
     // Late copy of a finished transfer: the endpoint logic that owned it
     // is closed — dropped on the floor, never re-acked.
   }
-  out.srtt = estimator_.srtt();
+  out.srtt = est.srtt();
   out.elapsed = sim_.now() - start;
   return out;
 }

@@ -23,6 +23,16 @@
 // exactly what Transport::send's return means, and a failed one aborts the
 // session into the "uncertified after budget" verdict (DESIGN.md §2.10).
 //
+// Fault semantics (DESIGN.md §2.12): a corrupted copy — DATA or ACK — is
+// rejected by the frame check sequence and dropped unprocessed, so
+// detected corruption degrades to loss and the retransmit timer recovers
+// it.  Node crashes need no protocol change here: a crashed endpoint's
+// frames drop in the simulator, and the receiver's exactly-once dedup is
+// by globally-unique transfer id (the durable app-level log), not volatile
+// link state — so a peer that crashes and recovers mid-transfer can never
+// be double-delivered; at worst the sender's budget dies and it admits
+// ignorance.
+//
 // Model note: stop-and-wait needs O(1) bits of LINK-layer state per
 // in-flight transfer (the open transfer id and the pending frame).  The
 // ROUTING layer above stays stateless — nodes still store nothing between
@@ -30,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/rto.h"
 #include "net/sim.h"
@@ -56,6 +67,12 @@ struct ReliableOptions {
   /// fresh sample — Karn's rule, still a pure function of the event
   /// sequence.
   bool adaptive_rto = true;
+  /// Adaptive-RTO granularity: false (default) keeps ONE estimator for the
+  /// whole transport (the PR 7 per-session state); true keeps one
+  /// estimator PER DIRECTED LINK, so transfers crossing a slow edge never
+  /// inflate the timeout of a fast one (the ROADMAP per-link follow-on the
+  /// TrafficEngine lossy mode engages).  Ignored when !adaptive_rto.
+  bool per_link_rto = false;
 };
 
 /// What one stop-and-wait transfer accomplished.
@@ -69,6 +86,9 @@ struct ReliableOutcome {
   std::uint32_t retransmits = 0;  ///< timeout-driven DATA resends
   std::uint32_t backoffs = 0;     ///< RTO doublings applied
   std::uint32_t rtt_samples = 0;  ///< clean samples fed to the estimator
+  /// Arrived copies the CRC rejected (corruption degraded to loss: the
+  /// frame is dropped unprocessed and the retransmit timer recovers).
+  std::uint32_t corrupt_drops = 0;
   SimTime srtt = 0;          ///< smoothed RTT after this transfer (0: none)
   SimTime first_rto = 0;     ///< RTO armed for the initial copy
   SimTime elapsed = 0;       ///< virtual time the transfer consumed
@@ -94,9 +114,11 @@ class ReliableTransport {
   // --- transport-lifetime retransmission aggregates ------------------------
   std::uint64_t total_retransmits() const { return total_retransmits_; }
   std::uint64_t total_backoffs() const { return total_backoffs_; }
-  std::uint64_t total_rtt_samples() const { return estimator_.samples(); }
+  std::uint64_t total_rtt_samples() const;
   /// The shared adaptive estimator (fixed at `rto` when !adaptive_rto).
   const RtoEstimator& estimator() const { return estimator_; }
+  /// Per-link mode: the estimator of the directed link departing (u, p).
+  const RtoEstimator& link_estimator(graph::NodeId u, graph::Port p) const;
 
   const ReliableOptions& options() const { return options_; }
 
@@ -105,9 +127,14 @@ class ReliableTransport {
   const EventSim& sim() const { return sim_; }
 
  private:
+  RtoEstimator& working_estimator(std::uint64_t link);
+
   EventSim sim_;
   ReliableOptions options_;
   RtoEstimator estimator_;
+  /// Per-link estimators (per_link_rto only), indexed by EventSim
+  /// link_index; lazily grown to num_links() on first use.
+  std::vector<RtoEstimator> link_estimators_;
   std::uint64_t transfers_ = 0;
   std::uint64_t total_retransmits_ = 0;
   std::uint64_t total_backoffs_ = 0;

@@ -1,5 +1,6 @@
 #include "net/sim.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -19,6 +20,9 @@ void validate_model(const LinkModel& m, const char* who) {
     throw std::invalid_argument(std::string(who) + ": loss outside [0, 1]");
   if (m.dup < 0.0 || m.dup > 1.0)
     throw std::invalid_argument(std::string(who) + ": dup outside [0, 1]");
+  if (m.corrupt < 0.0 || m.corrupt > 1.0)
+    throw std::invalid_argument(std::string(who) +
+                                ": corrupt outside [0, 1]");
 }
 
 SimTime draw_latency(const LinkModel& m, util::Pcg32& rng) {
@@ -28,6 +32,14 @@ SimTime draw_latency(const LinkModel& m, util::Pcg32& rng) {
   const auto bound = static_cast<std::uint32_t>(
       span >= 0xffffffffULL ? 0xffffffffUL : span + 1);
   return m.latency_min + rng.next_below(bound);
+}
+
+/// The seeded bit-flip of a corrupted copy: one random bit of the frame id
+/// (the payload this simulator carries) is damaged; the `corrupted` flag is
+/// the frame check sequence catching it.
+void damage(SimEvent& ev, util::Pcg32& rng) {
+  ev.frame_id ^= 1ULL << rng.next_below(64);
+  ev.corrupted = true;
 }
 
 }  // namespace
@@ -41,6 +53,8 @@ EventSim::EventSim(const graph::Graph& g, std::uint64_t seed,
     offsets_[v + 1] = offsets_[v] + g.degree(v);
   models_.resize(offsets_.back());
   down_.resize(offsets_.back(), false);
+  crashed_.resize(g.num_nodes(), false);
+  crash_epochs_.resize(g.num_nodes(), 0);
 }
 
 void EventSim::check_half_edge(NodeId u, Port p, const char* who) const {
@@ -48,6 +62,11 @@ void EventSim::check_half_edge(NodeId u, Port p, const char* who) const {
     throw std::invalid_argument(std::string(who) + ": node out of range");
   if (p >= graph_->degree(u))
     throw std::invalid_argument(std::string(who) + ": port out of range");
+}
+
+void EventSim::check_node(NodeId v, const char* who) const {
+  if (v >= graph_->num_nodes())
+    throw std::invalid_argument(std::string(who) + ": node out of range");
 }
 
 void EventSim::set_link_model(NodeId u, Port p, const LinkModel& m) {
@@ -72,6 +91,27 @@ bool EventSim::link_up(NodeId u, Port p) const {
   return !down_[link_id(u, p)];
 }
 
+void EventSim::set_node_crashed(NodeId v, bool crashed) {
+  check_node(v, "EventSim::set_node_crashed");
+  if (crashed_[v] && !crashed) ++crash_epochs_[v];  // recovery: amnesia
+  crashed_[v] = crashed;
+}
+
+bool EventSim::node_crashed(NodeId v) const {
+  check_node(v, "EventSim::node_crashed");
+  return crashed_[v];
+}
+
+std::uint64_t EventSim::crash_epochs(NodeId v) const {
+  check_node(v, "EventSim::crash_epochs");
+  return crash_epochs_[v];
+}
+
+std::uint64_t EventSim::link_index(NodeId u, Port p) const {
+  check_half_edge(u, p, "EventSim::link_index");
+  return link_id(u, p);
+}
+
 void EventSim::record(std::string line) {
   if (trace_.size() < trace_limit_) trace_.push_back(std::move(line));
 }
@@ -79,7 +119,8 @@ void EventSim::record(std::string line) {
 void EventSim::push(SimTime at, SimEvent ev) {
   ev.time = at;
   ev.seq = next_seq_++;
-  queue_.push(Queued{at, ev.seq, ev});
+  queue_.push_back(Queued{at, ev.seq, ev});
+  std::push_heap(queue_.begin(), queue_.end(), QueuedLater{});
 }
 
 void EventSim::send(NodeId from, Port out_port, std::uint64_t frame_id) {
@@ -93,6 +134,11 @@ void EventSim::send(NodeId from, Port out_port, std::uint64_t frame_id) {
            " link=" + std::to_string(from) + "." + std::to_string(out_port) +
            " f=" + std::to_string(frame_id) + " " + outcome);
   };
+  if (crashed_[from]) {  // a crashed node transmits nothing (no draws)
+    ++frames_crashed_;
+    stamp("crash");
+    return;
+  }
   if (down_[link]) {  // transmitting into a dead direction: nothing receives
     ++frames_lost_;
     stamp("down");
@@ -101,7 +147,9 @@ void EventSim::send(NodeId from, Port out_port, std::uint64_t frame_id) {
   const LinkModel& m = models_[link] ? *models_[link] : default_model_;
   // Per-(link, event) stream: the schedule is a pure function of the seed
   // and the call sequence (ROADMAP's deterministic-replay contract).  Draw
-  // order is fixed: loss, latency, dup, dup-latency.
+  // order is fixed: loss, latency, dup, dup-latency, THEN the corruption
+  // draws — so at corrupt = 0 the stream is consumed exactly as pre-fault
+  // replays did (P11).
   util::Pcg32 rng(util::counter_hash(util::counter_hash(seed_, link), event));
   if (m.loss > 0.0 && rng.next_double() < m.loss) {
     ++frames_lost_;
@@ -116,13 +164,29 @@ void EventSim::send(NodeId from, Port out_port, std::uint64_t frame_id) {
   ev.from = from;
   ev.from_port = out_port;
   ev.frame_id = frame_id;
-  push(now_ + draw_latency(m, rng), ev);
-  stamp("sent");
-  if (m.dup > 0.0 && rng.next_double() < m.dup) {
+  const SimTime latency = draw_latency(m, rng);
+  SimEvent dup_ev;
+  SimTime dup_latency = 0;
+  const bool spawn_dup = m.dup > 0.0 && rng.next_double() < m.dup;
+  if (spawn_dup) {
+    dup_ev = ev;
+    dup_ev.duplicate = true;
+    dup_latency = draw_latency(m, rng);
+  }
+  if (m.corrupt > 0.0 && rng.next_double() < m.corrupt) {
+    ++frames_corrupted_;
+    damage(ev, rng);
+  }
+  if (spawn_dup && m.corrupt > 0.0 && rng.next_double() < m.corrupt) {
+    ++frames_corrupted_;
+    damage(dup_ev, rng);
+  }
+  push(now_ + latency, ev);
+  stamp(ev.corrupted ? "sent corrupt" : "sent");
+  if (spawn_dup) {
     ++frames_duplicated_;
-    ev.duplicate = true;
-    push(now_ + draw_latency(m, rng), ev);
-    stamp("dup");
+    push(now_ + dup_latency, dup_ev);
+    stamp(dup_ev.corrupted ? "dup corrupt" : "dup");
   }
 }
 
@@ -133,19 +197,109 @@ void EventSim::set_timer(SimTime delay, std::uint64_t timer_id) {
   push(now_ + delay, ev);
 }
 
+void EventSim::cancel_timer(std::uint64_t timer_id) {
+  cancelled_.insert(timer_id);
+  // Compaction keeps the heap (and pending()) bounded by ~2x the live
+  // events: once cancelled entries dominate, filter them out in place and
+  // re-heapify.  Pop order is the TOTAL order (time, seq), so rebuilding
+  // the heap never changes what next() returns — determinism holds.
+  if (cancelled_.size() >= 64 && cancelled_.size() * 2 > queue_.size()) {
+    auto dead = [&](const Queued& q) {
+      if (q.event.kind != SimEventKind::kTimer) return false;
+      const auto it = cancelled_.find(q.event.timer_id);
+      if (it == cancelled_.end()) return false;
+      cancelled_.erase(it);
+      ++timers_cancelled_;
+      return true;
+    };
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(), dead),
+                 queue_.end());
+    std::make_heap(queue_.begin(), queue_.end(), QueuedLater{});
+  }
+}
+
+void EventSim::schedule_fault(SimTime delay, const FaultAction& action) {
+  switch (action.kind) {
+    case FaultAction::Kind::kCrash:
+    case FaultAction::Kind::kRecover:
+      check_node(action.node, "EventSim::schedule_fault");
+      break;
+    case FaultAction::Kind::kLinkDown:
+    case FaultAction::Kind::kLinkUp:
+      check_half_edge(action.node, action.port, "EventSim::schedule_fault");
+      break;
+    case FaultAction::Kind::kGlobalCorrupt:
+      if (action.corrupt < 0.0 || action.corrupt > 1.0)
+        throw std::invalid_argument(
+            "EventSim::schedule_fault: corrupt outside [0, 1]");
+      break;
+  }
+  SimEvent ev;
+  ev.kind = SimEventKind::kFault;
+  ev.timer_id = fault_actions_.size();  // index into fault_actions_
+  fault_actions_.push_back(action);
+  push(now_ + delay, ev);
+}
+
+void EventSim::apply_fault(const FaultAction& f) {
+  switch (f.kind) {
+    case FaultAction::Kind::kCrash:
+      crashed_[f.node] = true;
+      break;
+    case FaultAction::Kind::kRecover:
+      if (crashed_[f.node]) ++crash_epochs_[f.node];
+      crashed_[f.node] = false;
+      break;
+    case FaultAction::Kind::kLinkDown:
+      down_[link_id(f.node, f.port)] = true;
+      break;
+    case FaultAction::Kind::kLinkUp:
+      down_[link_id(f.node, f.port)] = false;
+      break;
+    case FaultAction::Kind::kGlobalCorrupt:
+      default_model_.corrupt = f.corrupt;
+      for (auto& o : models_)
+        if (o) o->corrupt = f.corrupt;
+      break;
+  }
+  if (trace_limit_ != 0)
+    record("F t=" + std::to_string(now_) + " " + to_string(f));
+}
+
 std::optional<SimEvent> EventSim::next() {
   while (!queue_.empty()) {
-    Queued q = queue_.top();
-    queue_.pop();
+    std::pop_heap(queue_.begin(), queue_.end(), QueuedLater{});
+    Queued q = queue_.back();
+    queue_.pop_back();
     now_ = q.time;
     SimEvent& ev = q.event;
-    if (ev.kind == SimEventKind::kArrival &&
-        down_[link_id(ev.from, ev.from_port)]) {
+    if (ev.kind == SimEventKind::kFault) {
+      apply_fault(fault_actions_[ev.timer_id]);
+      continue;
+    }
+    if (ev.kind == SimEventKind::kTimer) {
+      const auto it = cancelled_.find(ev.timer_id);
+      if (it != cancelled_.end()) {  // lazily-cancelled: consume silently
+        cancelled_.erase(it);
+        ++timers_cancelled_;
+        continue;
+      }
+      if (trace_limit_ != 0) record("E " + to_string(ev));
+      return ev;
+    }
+    if (down_[link_id(ev.from, ev.from_port)]) {
       // The direction died while the frame was in flight.
       ++frames_died_;
       if (trace_limit_ != 0) record("D " + to_string(ev));
       continue;
     }
+    if (crashed_[ev.node]) {
+      // Nobody is listening at the far end at this delivery instant.
+      ++frames_crashed_;
+      if (trace_limit_ != 0) record("C " + to_string(ev));
+      continue;
+    }
+    ++frames_delivered_;
     if (trace_limit_ != 0) record("E " + to_string(ev));
     return ev;
   }
@@ -160,7 +314,25 @@ std::string to_string(const SimEvent& ev) {
   return s + " arr node=" + std::to_string(ev.node) + " port=" +
          std::to_string(ev.port) + " from=" + std::to_string(ev.from) + "." +
          std::to_string(ev.from_port) + " f=" + std::to_string(ev.frame_id) +
-         (ev.duplicate ? " dup" : "");
+         (ev.duplicate ? " dup" : "") + (ev.corrupted ? " corrupt" : "");
+}
+
+std::string to_string(const FaultAction& f) {
+  switch (f.kind) {
+    case FaultAction::Kind::kCrash:
+      return "crash v=" + std::to_string(f.node);
+    case FaultAction::Kind::kRecover:
+      return "recover v=" + std::to_string(f.node);
+    case FaultAction::Kind::kLinkDown:
+      return "linkdown " + std::to_string(f.node) + "." +
+             std::to_string(f.port);
+    case FaultAction::Kind::kLinkUp:
+      return "linkup " + std::to_string(f.node) + "." +
+             std::to_string(f.port);
+    case FaultAction::Kind::kGlobalCorrupt:
+      return "corrupt p=" + std::to_string(f.corrupt);
+  }
+  return "?";
 }
 
 }  // namespace uesr::net

@@ -22,10 +22,28 @@
 //   * loss: each frame independently dropped with probability `loss`;
 //   * duplication: a surviving frame spawns a second, independently-delayed
 //     copy with probability `dup` (the copy is flagged `duplicate`);
+//   * corruption: each DELIVERED copy independently arrives damaged with
+//     probability `corrupt` — one random bit of its frame id is flipped and
+//     the event is flagged `corrupted` (the frame check sequence failing);
+//     the corruption draws come strictly AFTER the loss / latency / dup
+//     draws of the send, so at corrupt = 0 the per-(link, event) stream is
+//     consumed exactly as before this knob existed (the PR 6/7 replay
+//     traces hold byte for byte — property P11);
 //   * up/down: set_link_up(u, p, false) kills the u->v direction ONLY
 //     (hnetd's one-sided net_sim_set_connected flip).  Frames sent into a
 //     down link are lost at departure; frames already in flight when the
 //     link goes down die mid-flight (dropped at their delivery instant).
+//
+// Node crash/recovery (the fault-injection layer, DESIGN.md §2.12): a
+// crashed node neither transmits (sends drop at departure, before any
+// channel draw) nor receives (arrivals drop at their delivery instant);
+// timers keep firing — they model the DRIVING protocol loop, not the
+// node's volatile state.  Each recovery bumps the node's crash epoch
+// (crash_epochs), the generation stamp the ARQ layers use to wipe volatile
+// receiver state (amnesia).  Faults can be flipped directly
+// (set_node_crashed) or scheduled into the event queue at exact virtual
+// times (schedule_fault — the FaultPlan backend, net/faults.h), so a crash
+// window can open and close in the middle of one reliable transfer.
 //
 // EventSim moves frames and timers; it owns no protocol logic.  The
 // unreliable Transport facade is net/lossy_transport.h, the stop-and-wait
@@ -35,8 +53,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
@@ -53,13 +71,32 @@ struct LinkModel {
   SimTime latency_max = 1;  ///< inclusive upper bound (>= latency_min)
   double loss = 0.0;        ///< P(frame dropped), in [0, 1]
   double dup = 0.0;         ///< P(second copy delivered), in [0, 1]
+  double corrupt = 0.0;     ///< P(delivered copy arrives damaged), in [0, 1]
 };
 
-enum class SimEventKind : std::uint8_t { kArrival, kTimer };
+enum class SimEventKind : std::uint8_t { kArrival, kTimer, kFault };
+
+/// One state flip applied at an exact virtual time (see schedule_fault).
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    kCrash,          ///< node goes down (drops sends and arrivals)
+    kRecover,        ///< node comes back; bumps its crash epoch (amnesia)
+    kLinkDown,       ///< one-sided link kill, as set_link_up(u, p, false)
+    kLinkUp,         ///< one-sided link heal
+    kGlobalCorrupt,  ///< set `corrupt` of the default AND every override
+  };
+  Kind kind = Kind::kCrash;
+  graph::NodeId node = 0;  ///< kCrash / kRecover target
+  graph::Port port = 0;    ///< kLinkDown / kLinkUp: half-edge (node, port)
+  double corrupt = 0.0;    ///< kGlobalCorrupt level, in [0, 1]
+
+  friend bool operator==(const FaultAction&, const FaultAction&) = default;
+};
 
 /// One popped event.  For kArrival, (node, port) is where the frame lands
 /// and (from, from_port) the departure half-edge it was sent on; frame_id
-/// is the sender's tag, `duplicate` marks a channel-made extra copy.
+/// is the sender's tag, `duplicate` marks a channel-made extra copy and
+/// `corrupted` a damaged one (the CRC verdict the ARQ layers honour).
 struct SimEvent {
   SimEventKind kind = SimEventKind::kArrival;
   SimTime time = 0;
@@ -70,6 +107,7 @@ struct SimEvent {
   graph::Port from_port = 0;
   std::uint64_t frame_id = 0;
   bool duplicate = false;
+  bool corrupted = false;
   std::uint64_t timer_id = 0;
 };
 
@@ -94,6 +132,25 @@ class EventSim {
   void set_link_up(graph::NodeId u, graph::Port p, bool up);
   bool link_up(graph::NodeId u, graph::Port p) const;
 
+  /// Crash / recover a node immediately.  Crashed nodes drop sends at
+  /// departure (before any channel draw — replay-safe) and arrivals at
+  /// their delivery instant; each up-transition bumps the crash epoch.
+  void set_node_crashed(graph::NodeId v, bool crashed);
+  bool node_crashed(graph::NodeId v) const;
+  /// Recoveries seen so far at v — the amnesia generation: volatile ARQ
+  /// state stamped with an older epoch is gone (net/reliable.h, window.h).
+  std::uint64_t crash_epochs(graph::NodeId v) const;
+
+  /// Schedules `action` to apply at now() + delay, interleaved with
+  /// arrivals/timers in exact (time, push-order) order; next() applies it
+  /// silently (never returns it).  The FaultPlan backend (net/faults.h).
+  void schedule_fault(SimTime delay, const FaultAction& action);
+
+  /// Dense index of the directed link departing (u, p) in
+  /// [0, num_links()) — the key transports use for per-link RTO state.
+  std::uint64_t link_index(graph::NodeId u, graph::Port p) const;
+  std::uint64_t num_links() const { return offsets_.back(); }
+
   /// Puts one frame on the directed link (from, out_port) at now().
   /// Counts one transmission unconditionally — lost frames were really
   /// sent.  The channel then draws loss / latency / duplication from the
@@ -103,13 +160,24 @@ class EventSim {
   /// Schedules a timer event at now() + delay carrying `timer_id`.
   void set_timer(SimTime delay, std::uint64_t timer_id);
 
+  /// Lazy-cancels the queued timer carrying `timer_id`: the entry stays in
+  /// the heap until popped (and is then consumed silently) or until the
+  /// periodic compaction sweeps it out — so pending() stays bounded by
+  /// ~2x the live events over any run length, however many stale ARQ
+  /// timers a chaos run abandons.  At most one queued timer may carry the
+  /// id; cancelling an id that is not queued poisons its next use.
+  void cancel_timer(std::uint64_t timer_id);
+
   /// Pops the next deliverable event in (time, seq) order, advancing
   /// now().  Frames whose link direction is down at their delivery instant
-  /// die silently (counted in frames_died_midflight) and the scan
-  /// continues.  Returns nullopt when the queue is empty.
+  /// die silently (counted in frames_died_midflight), arrivals at crashed
+  /// nodes drop (frames_crash_dropped), cancelled timers are consumed and
+  /// scheduled faults applied — the scan continues past all of them.
+  /// Returns nullopt when the queue is empty.
   std::optional<SimEvent> next();
 
-  /// Events (arrivals + timers) still queued.
+  /// Events (arrivals + timers + faults) still queued, cancelled-but-not-
+  /// yet-compacted timers included.
   std::size_t pending() const { return queue_.size(); }
 
   // --- wire accounting ----------------------------------------------------
@@ -117,6 +185,12 @@ class EventSim {
   std::uint64_t frames_lost() const { return frames_lost_; }
   std::uint64_t frames_duplicated() const { return frames_duplicated_; }
   std::uint64_t frames_died_midflight() const { return frames_died_; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+  /// Frames dropped by a crashed endpoint (at departure or delivery).
+  std::uint64_t frames_crash_dropped() const { return frames_crashed_; }
+  /// Arrival events actually handed to the caller by next().
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t timers_cancelled() const { return timers_cancelled_; }
 
   // --- deterministic replay trace -----------------------------------------
   /// Records one line per channel decision (send outcome) and per popped
@@ -142,7 +216,9 @@ class EventSim {
     return offsets_[u] + p;
   }
   void check_half_edge(graph::NodeId u, graph::Port p, const char* who) const;
+  void check_node(graph::NodeId v, const char* who) const;
   void push(SimTime at, SimEvent ev);
+  void apply_fault(const FaultAction& f);
   void record(std::string line);
 
   const graph::Graph* graph_;
@@ -152,8 +228,14 @@ class EventSim {
   /// Sparse per-link overrides / down flags, indexed by link id.
   std::vector<std::optional<LinkModel>> models_;
   std::vector<bool> down_;
+  std::vector<bool> crashed_;                ///< per-node crash flags
+  std::vector<std::uint64_t> crash_epochs_;  ///< per-node recovery counts
 
-  std::priority_queue<Queued, std::vector<Queued>, QueuedLater> queue_;
+  /// Binary heap in (time, seq) order (std::push_heap/pop_heap) — a plain
+  /// vector so lazy-cancel compaction can filter it in place.
+  std::vector<Queued> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;  ///< lazily-cancelled ids
+  std::vector<FaultAction> fault_actions_;  ///< payloads of queued kFault
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;   ///< push-order event ids
   std::uint64_t next_send_ = 0;  ///< per-send channel-draw counter
@@ -162,6 +244,10 @@ class EventSim {
   std::uint64_t frames_lost_ = 0;
   std::uint64_t frames_duplicated_ = 0;
   std::uint64_t frames_died_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_crashed_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t timers_cancelled_ = 0;
 
   std::size_t trace_limit_ = 0;
   std::vector<std::string> trace_;
@@ -170,5 +256,7 @@ class EventSim {
 /// One-line rendering of an event ("t=12 seq=3 arr node=4 port=1 ...") —
 /// the unit the replay regression tests serialize and diff.
 std::string to_string(const SimEvent& ev);
+/// One-line rendering of a fault action ("crash v=3", "linkdown 2.1", ...).
+std::string to_string(const FaultAction& f);
 
 }  // namespace uesr::net

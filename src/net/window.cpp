@@ -52,12 +52,35 @@ WindowTransport::WindowTransport(const graph::Graph& g, std::uint64_t seed,
     throw std::invalid_argument("WindowTransport: max_retries too large");
 }
 
+RtoEstimator& WindowTransport::working_estimator(std::uint64_t link) {
+  if (!options_.rto.adaptive || !options_.per_link_rto) return estimator_;
+  if (link_estimators_.empty())
+    link_estimators_.assign(sim_.num_links(), RtoEstimator(options_.rto));
+  return link_estimators_[link];
+}
+
+const RtoEstimator& WindowTransport::link_estimator(graph::NodeId u,
+                                                    graph::Port p) const {
+  const std::uint64_t link = sim_.link_index(u, p);
+  if (link_estimators_.empty()) return estimator_;  // never engaged
+  return link_estimators_[link];
+}
+
+std::uint64_t WindowTransport::total_rtt_samples() const {
+  std::uint64_t total = estimator_.samples();
+  for (const RtoEstimator& e : link_estimators_) total += e.samples();
+  return total;
+}
+
 WindowOutcome WindowTransport::send(graph::NodeId from,
                                     graph::Port out_port) {
   const std::uint64_t k = transfers_++;
   const std::uint32_t F = options_.frames_per_message;
   WindowOutcome out;
   const SimTime start = sim_.now();
+  // One send crosses one directed link; the working estimator is the
+  // transport-wide one, or this link's own under per_link_rto.
+  RtoEstimator& est = working_estimator(sim_.link_index(from, out_port));
 
   // Sender state, indexed by frame.
   std::vector<char> acked(F, 0);
@@ -72,16 +95,25 @@ WindowOutcome WindowTransport::send(graph::NodeId from,
   std::uint32_t base = 0;      // lowest unacked frame (window left edge)
   std::uint32_t next_new = 0;  // next never-launched frame
   std::uint32_t inflight = 0;
+  // The highest CUMULATIVE ack seen.  `delivered` requires watermark == F,
+  // never just all-frames-selectively-acked: a selectively-acked frame may
+  // be reneged by a receiver crash (the volatile buffer wipe below), but a
+  // cumulative ack certifies the DURABLE in-order prefix.  Crash-free the
+  // two conditions coincide (receiver state is monotone).
+  std::uint32_t watermark_seen = 0;
   // Receiver state: the out-of-order buffer bitmap + cumulative counter.
+  // The bitmap above `cum` is VOLATILE — wiped when the receiving node's
+  // crash epoch moves; [0, cum) is the durable delivered prefix.
   std::vector<char> received(F, 0);
   std::uint32_t cum = 0;  // frames [0, cum) delivered in order
+  const graph::NodeId rx = sim_.graph().rotate(from, out_port).node;
+  std::uint64_t rx_epoch = sim_.crash_epochs(rx);
 
   const auto launch = [&](std::uint32_t f) {
     sent_at[f] = sim_.now();
     sim_.send(from, out_port, data_id(k, f));
     ++out.data_copies;
-    const SimTime rto =
-        options_.rto.adaptive ? estimator_.rto() : fixed_rto[f];
+    const SimTime rto = options_.rto.adaptive ? est.rto() : fixed_rto[f];
     sim_.set_timer(rto, timer_id(k, f, attempt[f]));
   };
   const auto fill = [&] {
@@ -95,10 +127,11 @@ WindowOutcome WindowTransport::send(graph::NodeId from,
     if (acked[f]) return;
     acked[f] = 1;
     --inflight;
+    sim_.cancel_timer(timer_id(k, f, attempt[f]));  // lazy heap cleanup
     // Karn's rule: only a frame that was never retransmitted yields an
     // unambiguous RTT (its ack cannot be confirming an earlier copy).
     if (clean_sample && !retransmitted[f] && options_.rto.adaptive) {
-      estimator_.sample(sim_.now() - sent_at[f]);
+      est.sample(sim_.now() - sent_at[f]);
       ++out.rtt_samples;
     }
   };
@@ -112,8 +145,14 @@ WindowOutcome WindowTransport::send(graph::NodeId from,
       const std::uint32_t att =
           static_cast<std::uint32_t>(ev->timer_id & 0xffff);
       if (acked[f] || att != attempt[f]) continue;  // stale attempt
-      if (retries[f] >= options_.max_retries)
-        break;  // this frame's budget is spent: the transfer dies
+      if (retries[f] >= options_.max_retries) {
+        // This frame's budget is spent: the transfer dies.  Cancel the
+        // other in-flight frames' timers on the way out.
+        for (std::uint32_t j = 0; j < next_new; ++j)
+          if (!acked[j] && j != f)
+            sim_.cancel_timer(timer_id(k, j, attempt[j]));
+        break;
+      }
       ++retries[f];
       ++attempt[f];
       ++out.retransmits;
@@ -127,7 +166,7 @@ WindowOutcome WindowTransport::send(graph::NodeId from,
       // schedule.
       if (options_.rto.adaptive) {
         if (f == base) {
-          estimator_.backoff();
+          est.backoff();
           ++out.backoffs;
           ++total_backoffs_;
         }
@@ -139,11 +178,24 @@ WindowOutcome WindowTransport::send(graph::NodeId from,
       launch(f);
       continue;
     }
+    if (ev->corrupted) {
+      // CRC failure: dropped unprocessed, recovered by retransmission.
+      ++out.corrupt_drops;
+      continue;
+    }
     if (transfer_of(ev->frame_id) != k) continue;  // stale transfer's frame
     const std::uint32_t f = frame_of(ev->frame_id);
     if (!is_ack(ev->frame_id)) {
-      // Receiver: buffer the frame (exactly once — dups and late copies
-      // hit the bitmap), slide the cumulative counter, ack EVERY copy.
+      // Receiver: amnesia check first — a crash/recovery since the last
+      // arrival wiped the volatile out-of-order buffer (the durable
+      // prefix [0, cum) survives, so nothing is ever delivered twice).
+      if (sim_.crash_epochs(ev->node) != rx_epoch) {
+        rx_epoch = sim_.crash_epochs(ev->node);
+        ++out.receiver_resets;
+        for (std::uint32_t j = cum; j < F; ++j) received[j] = 0;
+      }
+      // Buffer the frame (exactly once — dups and late copies hit the
+      // bitmap), slide the cumulative counter, ack EVERY copy.
       if (!out.message_arrived) out.arrival = Arrival{ev->node, ev->port};
       if (!received[f]) {
         received[f] = 1;
@@ -158,16 +210,24 @@ WindowOutcome WindowTransport::send(graph::NodeId from,
     // its cumulative watermark.
     retire(f, /*clean_sample=*/true);
     const std::uint32_t watermark = std::min(cum_of(ev->frame_id), F);
+    watermark_seen = std::max(watermark_seen, watermark);
     for (std::uint32_t j = base; j < watermark; ++j)
       retire(j, /*clean_sample=*/false);
     while (base < F && acked[base]) ++base;
     if (base == F) {
-      out.delivered = true;
-      break;
+      if (watermark_seen >= F) {
+        out.delivered = true;
+        break;
+      }
+      // Everything selectively acked but the cumulative watermark never
+      // covered the message: the receiver reneged (crash wipe).  Nothing
+      // left to send — keep draining in case a full-cover ack is still in
+      // flight, else the transfer ends undelivered.
+      continue;
     }
     fill();
   }
-  out.srtt = estimator_.srtt();
+  out.srtt = est.srtt();
   out.elapsed = sim_.now() - start;
   return out;
 }

@@ -44,6 +44,22 @@
 // bench sweeps window x loss and reports virtual time per delivered
 // message.
 //
+// Fault semantics (DESIGN.md §2.12): a corrupted copy fails the frame
+// check sequence and is dropped unprocessed — corruption degrades to loss
+// and the per-frame timers recover it.  Node crash amnesia follows the
+// TCP-SACK reneging discipline: the receiver's in-order delivered prefix
+// (`cum`) is durable app state, but the out-of-order buffer above it is
+// VOLATILE — a crash/recovery of the receiving node wipes it (tracked by
+// the simulator's crash epoch).  Selective acks are therefore only
+// advisory: `delivered` requires a CUMULATIVE ack covering the whole
+// message (the watermark), never just every-frame-selectively-acked — so
+// a receiver that reneged can cost liveness (the transfer dies into the
+// two-generals gap) but never soundness, and the durable prefix plus
+// globally-unique frame ids mean recovery can never double-deliver.
+// Crash-free, watermark-completion is provably identical to
+// all-frames-acked (receiver state is monotone), so the PR 7 replay pins
+// hold byte for byte.
+//
 // Model note: selective repeat needs O(window) bits of LINK-layer state
 // per endpoint (the in-flight bitmap).  The ROUTING layer above stays
 // stateless — the paper's model constrains the routing layer, not the
@@ -70,6 +86,10 @@ struct WindowOptions {
   std::uint32_t max_retries = 8;
   /// Timeout estimation (shared Jacobson/Karn state across transfers).
   RtoOptions rto{};
+  /// Adaptive-RTO granularity: true keeps one estimator per directed link
+  /// instead of one per transport (see net/reliable.h — the ROADMAP
+  /// per-link follow-on).  Ignored when !rto.adaptive.
+  bool per_link_rto = false;
 };
 
 /// What one sliding-window message transfer accomplished.
@@ -82,6 +102,11 @@ struct WindowOutcome {
   std::uint32_t retransmits = 0;  ///< timeout-driven DATA resends
   std::uint32_t backoffs = 0;     ///< RTO doublings applied
   std::uint32_t rtt_samples = 0;  ///< clean samples fed to the estimator
+  /// Arrived copies the CRC rejected (corruption degraded to loss).
+  std::uint32_t corrupt_drops = 0;
+  /// Receiver crash/recovery cycles observed mid-transfer (each wiped the
+  /// volatile out-of-order buffer — the amnesia events).
+  std::uint32_t receiver_resets = 0;
   SimTime srtt = 0;     ///< smoothed RTT after this transfer (0: none)
   SimTime elapsed = 0;  ///< virtual time the transfer consumed
 };
@@ -106,8 +131,10 @@ class WindowTransport {
   // --- transport-lifetime retransmission aggregates ------------------------
   std::uint64_t total_retransmits() const { return total_retransmits_; }
   std::uint64_t total_backoffs() const { return total_backoffs_; }
-  std::uint64_t total_rtt_samples() const { return estimator_.samples(); }
+  std::uint64_t total_rtt_samples() const;
   const RtoEstimator& estimator() const { return estimator_; }
+  /// Per-link mode: the estimator of the directed link departing (u, p).
+  const RtoEstimator& link_estimator(graph::NodeId u, graph::Port p) const;
 
   const WindowOptions& options() const { return options_; }
 
@@ -116,9 +143,14 @@ class WindowTransport {
   const EventSim& sim() const { return sim_; }
 
  private:
+  RtoEstimator& working_estimator(std::uint64_t link);
+
   EventSim sim_;
   WindowOptions options_;
   RtoEstimator estimator_;
+  /// Per-link estimators (per_link_rto only), indexed by EventSim
+  /// link_index; lazily grown to num_links() on first use.
+  std::vector<RtoEstimator> link_estimators_;
   std::uint64_t transfers_ = 0;
   std::uint64_t total_retransmits_ = 0;
   std::uint64_t total_backoffs_ = 0;

@@ -205,6 +205,93 @@ TEST(ReliableTransport, BackoffDeterministicAcrossRuns) {
   EXPECT_EQ(delivered[0], delivered[1]);
 }
 
+TEST(ReliableTransport, FullCorruptionDegradesToLossAndSpendsTheBudget) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.corrupt = 1.0;  // every copy arrives, none passes the CRC
+  ReliableOptions opts;
+  opts.max_retries = 5;
+  ReliableTransport rt(g, 3, m, opts);
+  ReliableOutcome out = rt.send(0, 0);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_FALSE(out.data_arrived);  // dropped unprocessed — never "arrived"
+  EXPECT_EQ(out.data_copies, 6u);
+  EXPECT_EQ(out.corrupt_drops, 6u);  // each copy was rejected on arrival
+  EXPECT_EQ(out.ack_copies, 0u);     // a rejected frame is never acked
+  EXPECT_EQ(rt.sim().frames_corrupted(), 6u);
+}
+
+TEST(ReliableTransport, ModerateCorruptionIsRecoveredByRetransmission) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.corrupt = 0.3;
+  ReliableOptions opts;
+  opts.max_retries = 64;
+  int delivered = 0;
+  std::uint64_t drops = 0;
+  for (int i = 0; i < 40; ++i) {
+    ReliableTransport rt(g, /*seed=*/500 + i, m, opts);
+    ReliableOutcome out = rt.send(0, 0);
+    delivered += out.delivered;
+    drops += out.corrupt_drops;
+  }
+  EXPECT_EQ(delivered, 40);  // corruption is just loss to the protocol
+  EXPECT_GT(drops, 0u);      // and it really happened
+}
+
+TEST(ReliableTransport, ReceiverCrashWindowNeverDoubleDelivers) {
+  // The amnesia contract for stop-and-wait: dedup is by globally-unique
+  // transfer id (durable), so a receiver that crashes and recovers
+  // mid-transfer costs retries, never a second processing.  Observable
+  // here as: every outcome is still exactly delivered-or-ignorant, and
+  // crash drops account for the frames the down window swallowed.
+  Graph g = graph::from_edges(2, {{0, 1}});
+  ReliableOptions opts;
+  opts.max_retries = 32;
+  ReliableTransport rt(g, 3, {}, opts);
+  FaultAction crash;
+  crash.kind = FaultAction::Kind::kCrash;
+  crash.node = 1;
+  FaultAction recover;
+  recover.kind = FaultAction::Kind::kRecover;
+  recover.node = 1;
+  rt.sim().schedule_fault(1, crash);    // swallow the first copies
+  rt.sim().schedule_fault(40, recover);
+  ReliableOutcome out = rt.send(0, 0);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_GT(out.retransmits, 0u);  // the window really cost retries
+  EXPECT_GT(rt.sim().frames_crash_dropped(), 0u);
+  EXPECT_EQ(rt.sim().crash_epochs(1), 1u);
+}
+
+TEST(ReliableTransport, PerLinkRtoKeepsSlowAndFastLinksApart) {
+  // A triangle with one slow edge: under the transport-wide estimator the
+  // slow link inflates every timeout; per-link mode keeps one estimator
+  // per directed link, so the fast links' RTOs stay tight.
+  Graph g = graph::cycle(3);
+  ReliableOptions opts;
+  opts.per_link_rto = true;
+  ReliableTransport rt(g, 3, {}, opts);
+  LinkModel slow;
+  slow.latency_min = slow.latency_max = 50;
+  const graph::HalfEdge back = g.rotate(0, 0);  // the ack's return edge
+  rt.sim().set_link_model(0, 0, slow);          // data direction slow
+  rt.sim().set_link_model(back.node, back.port, slow);  // ack path slow
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(rt.send(0, 0).delivered);  // slow edge
+    EXPECT_TRUE(rt.send(0, 1).delivered);  // fast edge 0 -> 2
+  }
+  const SimTime slow_srtt = rt.link_estimator(0, 0).srtt();
+  const SimTime fast_srtt = rt.link_estimator(0, 1).srtt();
+  EXPECT_GT(slow_srtt, 50u);  // ~100 (two slow legs per round trip)
+  EXPECT_LT(fast_srtt, 10u);  // ~2
+  EXPECT_LT(rt.link_estimator(0, 1).rto(), rt.link_estimator(0, 0).rto());
+  // Karn discards the slow edge's first two transfers (they retransmit
+  // while the timeout ramps from 8 past the 100-tick RTT): 16 - 2.
+  EXPECT_EQ(rt.total_rtt_samples(), 14u);
+  EXPECT_EQ(rt.estimator().samples(), 0u);  // shared estimator never fed
+}
+
 TEST(ReliableTransport, ValidatesOptions) {
   Graph g = graph::cycle(3);
   ReliableOptions zero_rto;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <string>
 #include <vector>
 
@@ -265,6 +267,268 @@ TEST(EventSimReplay, CountersAreReplayedExactly) {
   EXPECT_EQ(died[0], died[1]);
   EXPECT_GT(lost[0], 0u);  // the chaos model really exercised loss
   EXPECT_GT(dup[0], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection layer: frame corruption, node crash/recovery, scheduled
+// faults, and lazy timer cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(EventSimFaults, FullCorruptionFlagsEveryDeliveryWithOneFlippedBit) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m = perfect();
+  m.corrupt = 1.0;
+  EventSim sim(g, 7, m);
+  sim.send(0, 0, 42);
+  auto ev = sim.next();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->corrupted);
+  // The damage model flips exactly one bit of the frame id (the CRC the
+  // ARQ layers check is the flag, but the payload really is different).
+  EXPECT_EQ(std::popcount(ev->frame_id ^ 42u), 1);
+  EXPECT_EQ(sim.frames_corrupted(), 1u);
+  EXPECT_EQ(sim.frames_delivered(), 1u);  // corrupt copies still arrive
+}
+
+TEST(EventSimFaults, CorruptProbabilityIsValidated) {
+  Graph g = graph::cycle(3);
+  LinkModel bad = perfect();
+  bad.corrupt = 1.5;
+  EXPECT_THROW(EventSim(g, 7, bad), std::invalid_argument);
+  EventSim sim(g, 7, perfect());
+  EXPECT_THROW(sim.set_link_model(0, 0, bad), std::invalid_argument);
+}
+
+TEST(EventSimFaults, CrashedNodeDropsSendsAtDeparture) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  EventSim sim(g, 7, perfect());
+  sim.set_node_crashed(0, true);
+  EXPECT_TRUE(sim.node_crashed(0));
+  sim.send(0, 0, 1);
+  EXPECT_FALSE(sim.next().has_value());
+  EXPECT_EQ(sim.transmissions(), 1u);  // the send was really attempted
+  EXPECT_EQ(sim.frames_crash_dropped(), 1u);
+  EXPECT_EQ(sim.frames_lost(), 0u);  // crash drops are not channel loss
+}
+
+TEST(EventSimFaults, CrashedNodeDropsArrivalsAtDeliveryInstant) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  EventSim sim(g, 7, perfect());
+  sim.send(0, 0, 1);             // in flight toward node 1
+  sim.set_node_crashed(1, true);  // crashes before delivery
+  EXPECT_FALSE(sim.next().has_value());
+  EXPECT_EQ(sim.frames_crash_dropped(), 1u);
+  // Recovery serves new frames again.
+  sim.set_node_crashed(1, false);
+  sim.send(0, 0, 2);
+  auto ev = sim.next();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->frame_id, 2u);
+}
+
+TEST(EventSimFaults, RecoveryBumpsTheCrashEpochOncePerDownUpCycle) {
+  Graph g = graph::cycle(3);
+  EventSim sim(g, 7, perfect());
+  EXPECT_EQ(sim.crash_epochs(1), 0u);
+  sim.set_node_crashed(1, true);
+  EXPECT_EQ(sim.crash_epochs(1), 0u);  // going down is not amnesia yet
+  sim.set_node_crashed(1, false);
+  EXPECT_EQ(sim.crash_epochs(1), 1u);
+  sim.set_node_crashed(1, false);  // redundant up: no phantom epoch
+  EXPECT_EQ(sim.crash_epochs(1), 1u);
+  sim.set_node_crashed(1, true);
+  sim.set_node_crashed(1, false);
+  EXPECT_EQ(sim.crash_epochs(1), 2u);
+}
+
+TEST(EventSimFaults, ScheduledCrashWindowOpensAndClosesAtExactTimes) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  EventSim sim(g, 7, perfect());
+  FaultAction crash;
+  crash.kind = FaultAction::Kind::kCrash;
+  crash.node = 1;
+  FaultAction recover;
+  recover.kind = FaultAction::Kind::kRecover;
+  recover.node = 1;
+  sim.schedule_fault(2, crash);    // window [2, 4) in virtual time
+  sim.schedule_fault(4, recover);
+  sim.send(0, 0, 1);  // arrives t=1: before the window — delivered
+  auto a = sim.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->frame_id, 1u);
+  sim.send(0, 0, 2);  // arrives t=2: the crash applies first — dropped
+  EXPECT_FALSE(sim.next().has_value());
+  EXPECT_EQ(sim.frames_crash_dropped(), 1u);
+  EXPECT_EQ(sim.now(), 4u);  // the recover fault advanced the clock
+  EXPECT_FALSE(sim.node_crashed(1));
+  EXPECT_EQ(sim.crash_epochs(1), 1u);
+  sim.send(0, 0, 3);  // after the window: delivered again
+  auto c = sim.next();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->frame_id, 3u);
+}
+
+TEST(EventSimFaults, GlobalCorruptFaultAppliesToOverriddenLinksToo) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  EventSim sim(g, 7, perfect());
+  LinkModel slow = perfect();
+  slow.latency_min = slow.latency_max = 2;
+  sim.set_link_model(0, 0, slow);  // per-link override in place
+  FaultAction burst;
+  burst.kind = FaultAction::Kind::kGlobalCorrupt;
+  burst.corrupt = 1.0;
+  sim.schedule_fault(0, burst);
+  EXPECT_FALSE(sim.next().has_value());  // applies the fault, queue empty
+  sim.send(0, 0, 1);  // drawn under the burst: corrupted
+  sim.send(1, 0, 2);  // default-model direction: corrupted too
+  auto a = sim.next();
+  auto b = sim.next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(a->corrupted);
+  EXPECT_TRUE(b->corrupted);
+  EXPECT_EQ(sim.frames_corrupted(), 2u);
+}
+
+TEST(EventSimFaults, ScheduleFaultValidatesTargets) {
+  Graph g = graph::cycle(3);
+  EventSim sim(g, 7, perfect());
+  FaultAction crash;
+  crash.kind = FaultAction::Kind::kCrash;
+  crash.node = 9;
+  EXPECT_THROW(sim.schedule_fault(0, crash), std::invalid_argument);
+  FaultAction brown;
+  brown.kind = FaultAction::Kind::kLinkDown;
+  brown.node = 0;
+  brown.port = 7;
+  EXPECT_THROW(sim.schedule_fault(0, brown), std::invalid_argument);
+  FaultAction burst;
+  burst.kind = FaultAction::Kind::kGlobalCorrupt;
+  burst.corrupt = 2.0;
+  EXPECT_THROW(sim.schedule_fault(0, burst), std::invalid_argument);
+  EXPECT_THROW(sim.set_node_crashed(9, true), std::invalid_argument);
+}
+
+TEST(EventSimTimers, CancelledTimerIsConsumedSilently) {
+  Graph g = graph::cycle(3);
+  EventSim sim(g, 7, perfect());
+  sim.set_timer(5, 77);
+  sim.cancel_timer(77);
+  EXPECT_FALSE(sim.next().has_value());
+  EXPECT_EQ(sim.timers_cancelled(), 1u);
+  // A fresh timer under a new id still fires.
+  sim.set_timer(3, 78);
+  auto ev = sim.next();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->timer_id, 78u);
+}
+
+// The satellite regression: mass lazy cancellation must not grow the heap
+// — compaction keeps pending() bounded by a small constant multiple of
+// the live events, however many stale ARQ timers a chaos run abandons.
+TEST(EventSimTimers, PendingStaysBoundedUnderMassCancellation) {
+  Graph g = graph::cycle(3);
+  EventSim sim(g, 7, perfect());
+  for (int i = 0; i < 8; ++i) sim.set_timer(1u << 20, 1000000 + i);  // live
+  std::size_t max_pending = 0;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    sim.set_timer(1000 + (i % 7), i);
+    sim.cancel_timer(i);
+    max_pending = std::max(max_pending, sim.pending());
+  }
+  EXPECT_LT(max_pending, 300u);  // ~2x the compaction threshold, not 20k
+  // Every cancelled timer is eventually consumed or compacted, silently.
+  std::size_t fired = 0;
+  while (sim.next().has_value()) ++fired;
+  EXPECT_EQ(fired, 8u);  // only the live timers ever surfaced
+  EXPECT_EQ(sim.timers_cancelled(), 20000u);
+}
+
+/// The chaos drive: sends, timers, cancellations and scheduled faults all
+/// drawn from one script stream — the fault-layer replay anchor.
+void drive_faults(EventSim& sim, const Graph& g, std::uint64_t script_seed,
+                  int ops) {
+  util::Pcg32 script(script_seed);
+  for (int i = 0; i < ops; ++i) {
+    const NodeId v = script.next_below(g.num_nodes());
+    const Port p = script.next_below(g.degree(v));
+    switch (script.next_below(12)) {
+      case 0:
+        sim.set_timer(1 + script.next_below(16), i);
+        break;
+      case 1: {
+        FaultAction a;
+        a.kind = FaultAction::Kind::kCrash;
+        a.node = v;
+        sim.schedule_fault(script.next_below(8), a);
+        break;
+      }
+      case 2: {
+        FaultAction a;
+        a.kind = FaultAction::Kind::kRecover;
+        a.node = v;
+        sim.schedule_fault(script.next_below(8), a);
+        break;
+      }
+      case 3: {
+        FaultAction a;
+        a.kind = script.next_below(2) ? FaultAction::Kind::kLinkDown
+                                      : FaultAction::Kind::kLinkUp;
+        a.node = v;
+        a.port = p;
+        sim.schedule_fault(script.next_below(8), a);
+        break;
+      }
+      case 4: {
+        FaultAction a;
+        a.kind = FaultAction::Kind::kGlobalCorrupt;
+        a.corrupt = script.next_below(2) ? 0.5 : 0.0;
+        sim.schedule_fault(script.next_below(8), a);
+        break;
+      }
+      case 5:
+        // May hit a queued, fired, or never-set id — all deterministic.
+        sim.cancel_timer(script.next_below(static_cast<std::uint32_t>(i + 1)));
+        break;
+      case 6:
+      case 7:
+        sim.next();
+        break;
+      default:
+        sim.send(v, p, i);
+        break;
+    }
+  }
+  while (sim.next().has_value()) {
+  }
+}
+
+TEST(EventSimFaults, FaultScheduleReplayIsByteIdentical) {
+  const Graph g = graph::connected_gnp(12, 0.3, 5);
+  LinkModel m = chaos();
+  m.corrupt = 0.1;
+  std::vector<std::string> traces[2];
+  std::uint64_t corrupted[2], crashed[2], cancelled[2], delivered[2];
+  for (int run = 0; run < 2; ++run) {
+    EventSim sim(g, /*seed=*/0xabcdef, m);
+    sim.enable_trace(100000);
+    drive_faults(sim, g, /*script_seed=*/99, /*ops=*/4000);
+    traces[run] = sim.trace();
+    corrupted[run] = sim.frames_corrupted();
+    crashed[run] = sim.frames_crash_dropped();
+    cancelled[run] = sim.timers_cancelled();
+    delivered[run] = sim.frames_delivered();
+  }
+  ASSERT_FALSE(traces[0].empty());
+  ASSERT_EQ(traces[0].size(), traces[1].size());
+  for (std::size_t i = 0; i < traces[0].size(); ++i)
+    ASSERT_EQ(traces[0][i], traces[1][i]) << "trace line " << i;
+  EXPECT_EQ(corrupted[0], corrupted[1]);
+  EXPECT_EQ(crashed[0], crashed[1]);
+  EXPECT_EQ(cancelled[0], cancelled[1]);
+  EXPECT_EQ(delivered[0], delivered[1]);
+  EXPECT_GT(corrupted[0], 0u);  // the chaos regime really fired
+  EXPECT_GT(crashed[0], 0u);
 }
 
 }  // namespace

@@ -316,6 +316,111 @@ TEST(WindowTransport, ValidatesOptions) {
 // trace driven entirely through selective-repeat transfers must replay
 // byte-identically — the adaptation consumes no randomness, so the
 // schedule is a pure function of (graph, seed, call sequence).
+TEST(WindowTransport, FullCorruptionDegradesToLossAndDiesOnBudget) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.corrupt = 1.0;
+  WindowOptions opts;
+  opts.window = 4;
+  opts.frames_per_message = 4;
+  opts.max_retries = 3;
+  WindowTransport wt(g, 3, m, opts);
+  WindowOutcome out = wt.send(0, 0);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_FALSE(out.message_arrived);
+  EXPECT_GT(out.corrupt_drops, 0u);
+  EXPECT_EQ(out.ack_copies, 0u);  // no frame ever passed the CRC
+}
+
+TEST(WindowTransport, ModerateCorruptionIsRecoveredByRetransmission) {
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.corrupt = 0.25;
+  WindowOptions opts;
+  opts.window = 4;
+  opts.frames_per_message = 8;
+  opts.max_retries = 64;
+  int delivered = 0;
+  std::uint64_t drops = 0;
+  for (int i = 0; i < 30; ++i) {
+    WindowTransport wt(g, /*seed=*/700 + i, m, opts);
+    WindowOutcome out = wt.send(0, 0);
+    delivered += out.delivered;
+    drops += out.corrupt_drops;
+    if (out.delivered) {
+      EXPECT_TRUE(out.message_arrived);
+    }
+  }
+  EXPECT_EQ(delivered, 30);
+  EXPECT_GT(drops, 0u);
+}
+
+TEST(WindowTransport, ReceiverCrashAmnesiaNeverFalselyDelivers) {
+  // The reneging discipline under fire: crash windows wipe the receiver's
+  // out-of-order buffer mid-transfer.  Whatever happens, `delivered` must
+  // imply the receiver really holds the whole message (the §2.12 soundness
+  // half).  Liveness is the documented cost: the sender never resends a
+  // selectively-acked frame, so a wiped bitmap usually strands the
+  // transfer in the two-generals gap until the budget kills it.
+  Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.loss = 0.15;
+  m.latency_min = 1;
+  m.latency_max = 4;
+  WindowOptions opts;
+  opts.window = 4;
+  opts.frames_per_message = 12;
+  opts.max_retries = 64;
+  int delivered = 0;
+  std::uint64_t resets = 0;
+  for (int i = 0; i < 40; ++i) {
+    WindowTransport wt(g, /*seed=*/900 + i, m, opts);
+    FaultAction crash;
+    crash.kind = FaultAction::Kind::kCrash;
+    crash.node = 1;
+    FaultAction recover;
+    recover.kind = FaultAction::Kind::kRecover;
+    recover.node = 1;
+    // Two crash windows inside the transfer's natural lifetime.
+    wt.sim().schedule_fault(3, crash);
+    wt.sim().schedule_fault(9, recover);
+    wt.sim().schedule_fault(20, crash);
+    wt.sim().schedule_fault(28, recover);
+    WindowOutcome out = wt.send(0, 0);
+    if (out.delivered) {
+      ++delivered;
+      EXPECT_TRUE(out.message_arrived) << "seed " << 900 + i;
+    }
+    resets += out.receiver_resets;
+  }
+  EXPECT_GT(delivered, 0);   // a window that misses the bitmap still lands
+  EXPECT_LT(delivered, 40);  // and reneging really costs transfers
+  EXPECT_GT(resets, 0u);     // the wipe really happened mid-transfer
+}
+
+TEST(WindowTransport, PerLinkRtoKeepsSlowAndFastLinksApart) {
+  Graph g = graph::cycle(3);
+  WindowOptions opts;
+  opts.per_link_rto = true;
+  opts.window = 4;
+  opts.frames_per_message = 4;
+  WindowTransport wt(g, 3, {}, opts);
+  LinkModel slow;
+  slow.latency_min = slow.latency_max = 50;
+  const graph::HalfEdge back = g.rotate(0, 0);
+  wt.sim().set_link_model(0, 0, slow);
+  wt.sim().set_link_model(back.node, back.port, slow);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(wt.send(0, 0).delivered);
+    EXPECT_TRUE(wt.send(0, 1).delivered);
+  }
+  EXPECT_GT(wt.link_estimator(0, 0).srtt(), 50u);
+  EXPECT_LT(wt.link_estimator(0, 1).srtt(), 10u);
+  EXPECT_LT(wt.link_estimator(0, 1).rto(), wt.link_estimator(0, 0).rto());
+  EXPECT_GT(wt.total_rtt_samples(), 0u);
+  EXPECT_EQ(wt.estimator().samples(), 0u);  // shared estimator never fed
+}
+
 TEST(WindowTransportReplay, TenThousandEventTraceIsByteIdentical) {
   const Graph g = graph::connected_gnp(12, 0.3, 5);
   LinkModel m;

@@ -19,7 +19,10 @@
 //       the same walk;
 //   P10 both ARQs degenerate to the same walk: at loss = 0 the sliding
 //       window (net::WindowTransport) is arrival-for-arrival identical
-//       to stop-and-wait (net::ReliableTransport) on every topology.
+//       to stop-and-wait (net::ReliableTransport) on every topology;
+//   P11 the fault layer at zero is invisible: corrupt = 0 plus an armed
+//       all-zero-rate FaultPlan leaves the lossy channel byte-identical
+//       (trace line for trace line) to the plain PR 7 transport.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -33,6 +36,7 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/geometric.h"
+#include "net/faults.h"
 #include "net/lossy_transport.h"
 #include "net/reliable.h"
 #include "net/transport.h"
@@ -285,6 +289,56 @@ TEST_P(GraphZoo, WindowArqAtZeroLossMatchesStopAndWaitArrivals) {
   EXPECT_EQ(sr.frames(), 200u * 2 * wopt.frames_per_message);
   EXPECT_EQ(sr.total_retransmits(), 0u);
   EXPECT_EQ(sw.total_retransmits(), 0u);
+}
+
+// ---- P11: the fault layer at zero is invisible -------------------------
+// The §2.12 fault stack with every knob at zero — an explicit corrupt
+// probability of 0.0, an armed FaultPlan sampled at all-zero rates (hence
+// empty), an armed scripted no-op plan — must leave a LOSSY selective-
+// repeat channel byte-identical: the replay trace, the arrivals, and the
+// wire counts all match the plain PR 7 transport on every zoo topology.
+// This is the regression pin that lets the fault layer ride inside
+// EventSim without ever perturbing pre-chaos replay traces.
+
+TEST_P(GraphZoo, FaultLayerAtZeroIsByteInvisible) {
+  if (g_.num_nodes() == 0 || g_.degree(0) == 0) GTEST_SKIP();
+  net::WindowOptions wopt;
+  wopt.frames_per_message = 3;
+  wopt.window = 2;
+  wopt.max_retries = 32;
+  std::vector<std::string> traces[2];
+  std::vector<graph::HalfEdge> arrivals[2];
+  std::uint64_t frames[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    net::LinkModel m;
+    m.loss = 0.15;  // real retransmissions: timers and backoff in play
+    m.latency_max = 4;
+    if (run == 1) m.corrupt = 0.0;  // the corruption knob, explicitly zero
+    net::WindowTransport tr(g_, /*seed=*/0x5eed000c, m, wopt);
+    tr.sim().enable_trace(200000);
+    if (run == 1) {
+      net::ChaosConfig calm;  // every rate zero: samples an empty plan
+      net::FaultPlan::sample(g_, calm, 0xfee1).arm(tr.sim());
+      net::FaultPlan{}.fresh().arm(tr.sim());  // scripted no-op, fresh()'d
+    }
+    util::Pcg32 walk(0xb3);
+    graph::NodeId at = 0;
+    for (int i = 0; i < 120; ++i) {
+      const graph::Port out = walk.next_below(g_.degree(at));
+      const net::WindowOutcome o = tr.send(at, out);
+      ASSERT_TRUE(o.delivered) << "run " << run << " step " << i;
+      arrivals[run].push_back({o.arrival.node, o.arrival.port});
+      at = o.arrival.node;
+    }
+    frames[run] = tr.frames();
+    traces[run] = tr.sim().trace();
+  }
+  EXPECT_EQ(arrivals[0], arrivals[1]);
+  EXPECT_EQ(frames[0], frames[1]);
+  ASSERT_FALSE(traces[0].empty());
+  ASSERT_EQ(traces[0].size(), traces[1].size());
+  for (std::size_t i = 0; i < traces[0].size(); ++i)
+    ASSERT_EQ(traces[0][i], traces[1][i]) << "trace line " << i;
 }
 
 INSTANTIATE_TEST_SUITE_P(
