@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/count_nodes.h"
+#include "core/multi_walk.h"
 #include "core/route.h"
 #include "explore/degree_reduce.h"
 #include "explore/sequence.h"
@@ -101,6 +102,101 @@ void BM_RouteSessionStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RouteSessionStep);
+
+// Shared fixture for the multi-walk rows: one 2M-node cubic network whose
+// rotation map (~72 MB packed) misses per-core cache the way a 10^6-node
+// deployment does, so the SoA kernel's memory-level parallelism — not
+// arithmetic — is what's measured.
+const explore::ReducedGraph& multi_walk_net() {
+  static const explore::ReducedGraph net = explore::reduce_to_cubic(
+      graph::random_connected_regular(2'000'000, 3, 7));
+  return net;
+}
+
+const explore::ExplorationSequence& multi_walk_seq() {
+  static const auto seq =
+      explore::standard_ues(multi_walk_net().cubic.num_nodes());
+  return *seq;
+}
+
+// SoA block kernel: `lanes` concurrent walks stepped 64 slots per call
+// (the engine's batch).  items/s = transmissions/s; compare against
+// BM_SequentialWalkStep64's 64 scalar sessions for the E10 speedup row
+// (acceptance: the 64-lane row is >= 2x the sequential baseline).
+void BM_MultiWalkStep(benchmark::State& state) {
+  const auto& net = multi_walk_net();
+  const auto& seq = multi_walk_seq();
+  const auto n = static_cast<graph::NodeId>(net.first_gadget.size());
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  core::MultiWalkArena arena(net, seq);
+  std::vector<std::size_t> walks;
+  std::uint64_t admitted = 0;
+  auto fresh_pair = [&](graph::NodeId* s, graph::NodeId* t) {
+    *s = static_cast<graph::NodeId>((admitted * 97 + 13) % n);
+    *t = static_cast<graph::NodeId>((*s + n / 2 + 1 + admitted) % n);
+    if (*t == *s) *t = (*s + 1) % n;
+    ++admitted;
+  };
+  for (std::size_t i = 0; i < lanes; ++i) {
+    graph::NodeId s, t;
+    fresh_pair(&s, &t);
+    walks.push_back(arena.admit(s, t));
+  }
+  for (auto _ : state) {
+    arena.step_block(walks.data(), walks.size(), 64);
+    // Recycle delivered walks so every iteration steps a full block
+    // (expander hit times are ~n, well within a long bench run).
+    for (std::size_t& w : walks)
+      if (arena.finished(w)) {
+        graph::NodeId s, t;
+        fresh_pair(&s, &t);
+        w = arena.admit(s, t);
+      }
+    benchmark::ClobberMemory();
+  }
+  std::uint64_t tx = 0;
+  for (std::size_t w = 0; w < arena.size(); ++w) tx += arena.transmissions(w);
+  state.counters["lanes"] = static_cast<double>(lanes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(tx));
+}
+BENCHMARK(BM_MultiWalkStep)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// The "before" shape: the same 64 walks as scalar RouteSessions, each
+// granted 64 slots in turn — one dependent load chain at a time, no
+// cross-walk overlap.
+void BM_SequentialWalkStep64(benchmark::State& state) {
+  const auto& net = multi_walk_net();
+  const auto& seq = multi_walk_seq();
+  const auto n = static_cast<graph::NodeId>(net.first_gadget.size());
+  std::vector<core::RouteSession> sessions;
+  std::uint64_t admitted = 0;
+  auto fresh = [&]() {
+    const auto s = static_cast<graph::NodeId>((admitted * 97 + 13) % n);
+    auto t = static_cast<graph::NodeId>((s + n / 2 + 1 + admitted) % n);
+    if (t == s) t = (s + 1) % n;
+    ++admitted;
+    return core::RouteSession(net, seq, s, t);
+  };
+  for (std::size_t i = 0; i < 64; ++i) sessions.push_back(fresh());
+  std::uint64_t tx = 0;
+  for (auto _ : state) {
+    for (core::RouteSession& session : sessions) {
+      if (session.finished()) session = fresh();
+      std::uint64_t used = 0;
+      std::uint64_t calls = 2 * 64 + 8;
+      while (!session.finished() && used < 64 && calls-- > 0) {
+        const std::uint64_t before = session.transmissions();
+        session.step();
+        used += session.transmissions() - before;
+      }
+      tx += used;
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tx));
+}
+BENCHMARK(BM_SequentialWalkStep64)->Unit(benchmark::kMicrosecond);
 
 void BM_DegreeReduction(benchmark::State& state) {
   graph::Graph g = graph::gnp(static_cast<graph::NodeId>(state.range(0)),

@@ -12,9 +12,15 @@
 // distribution; `routes/s` and `s` are the only machine-dependent
 // columns.
 //
+// The closing open-loop row is the million-scale regime: >= 1M
+// cluster-local sessions with Poisson arrivals AND departures streamed
+// through the sharded engine's SoA arena fast path on a >= 10^6-node
+// clustered topology.
+//
 // Sessions fan out over the shared threads knob inside
 // core::TrafficEngine; every data cell is bit-identical for any --threads
-// value (pinned by the traffic ThreadInvariance tests).
+// and --shards split (pinned by the ThreadInvariance and ShardInvariance
+// suites).
 // Index row: DESIGN.md §4 / EXPERIMENTS.md (E12) — expected shape lives there.
 #include "bench_common.h"
 
@@ -37,7 +43,7 @@ int main(int argc, char** argv) {
   bench::report_threads(threads);
 
   util::Table t({"workload", "topology", "sessions", "ok", "cert", "exh",
-                 "p50 tx", "p99 tx", "restarts", "routes/s", "s"});
+                 "dep", "p50 tx", "p99 tx", "restarts", "routes/s", "s"});
   const std::uint64_t kSeqSeed = 0x5eed0001;
 
   auto add_row = [&](const std::string& topology, const std::string& name,
@@ -49,6 +55,7 @@ int main(int argc, char** argv) {
         .cell(cell.delivered)
         .cell(cell.certified)
         .cell(cell.exhausted)
+        .cell(cell.departed)
         .cell(cell.p50_tx, 0)
         .cell(cell.p99_tx, 0)
         .cell(cell.restarts)
@@ -104,10 +111,36 @@ int main(int argc, char** argv) {
     add_row(row.scenario->name(), row.w.name, cell, timer.seconds());
   }
 
+  // --- million-scale open-loop row (the PR 9 acceptance artifact) --------
+  // >= 1M cluster-local sessions streamed through the sharded engine's
+  // arena fast path on a >= 10^6-node clustered topology.  Arrivals AND
+  // departures are open-loop (Poisson); the row is bit-identical for any
+  // threads/shards split (pinned by the ShardInvariance suite).
+  {
+    const graph::NodeId kClusterSize = 8;
+    const graph::NodeId kClusters = 131072;  // 8 * 131072 = 1,048,576 nodes
+    const graph::Graph big = graph::disjoint_copies(
+        graph::connected_gnp(kClusterSize, 0.45, 211), kClusters);
+    baselines::OpenLoopWorkload::Config cfg;
+    cfg.cluster_size = kClusterSize;
+    cfg.clusters = kClusters;
+    cfg.sessions = 1'048'576;
+    cfg.mean_interarrival = 0.002;  // ~all admitted within ~2.1k slots
+    cfg.mean_lifetime = 2048.0;     // patient, but a tail departs
+    cfg.seed = 977;
+    bench::Timer timer;
+    const baselines::TrafficCell cell = baselines::open_loop_traffic_experiment(
+        big, cfg, kSeqSeed, threads, /*shards=*/4 * threads);
+    add_row("clusters(8x131072)", baselines::OpenLoopWorkload(cfg).name(),
+            cell, timer.seconds());
+  }
+
   t.print(std::cout);
-  std::cout << "\nok + cert + exh == sessions on every row (each session "
-               "ends with its exact verdict); the all-pairs row multiplexes "
-               ">= 1024 concurrent sessions; restarts appear only on the "
+  std::cout << "\nok + cert + exh + dep == sessions on every row (each "
+               "session ends with its exact verdict or an open-loop "
+               "departure); the all-pairs row multiplexes >= 1024 concurrent "
+               "sessions and the open-loop row streams >= 1M sessions over a "
+               ">= 10^6-node clustered topology; restarts appear only on the "
                "churn-overlaid rows, whose shared schedule is the regime "
                "E11's per-attempt replays cannot express\n";
   return 0;

@@ -1,5 +1,6 @@
 #include "baselines/workload.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <sstream>
@@ -140,6 +141,41 @@ Workload mixed_workload(NodeId n, int sessions, double mean_interarrival,
   return w;
 }
 
+OpenLoopWorkload::OpenLoopWorkload(const Config& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg.cluster_size < 2)
+    throw std::invalid_argument("OpenLoopWorkload: cluster_size >= 2");
+  if (cfg.clusters < 1)
+    throw std::invalid_argument("OpenLoopWorkload: clusters >= 1");
+  if (!(cfg.mean_interarrival >= 0.0) || !(cfg.mean_lifetime >= 0.0))
+    throw std::invalid_argument("OpenLoopWorkload: negative mean");
+  std::ostringstream name;
+  name << "open-loop(k=" << cfg.clusters << "x" << cfg.cluster_size
+       << ",N=" << cfg.sessions << ",ia=" << cfg.mean_interarrival
+       << ",life=" << cfg.mean_lifetime << ",seed=" << cfg.seed << ")";
+  name_ = name.str();
+}
+
+std::optional<core::SessionSpec> OpenLoopWorkload::next() {
+  if (emitted_ >= cfg_.sessions) return std::nullopt;
+  ++emitted_;
+  at_ += exp_draw(rng_, cfg_.mean_interarrival);
+  const NodeId c = rng_.next_below(cfg_.clusters);
+  const NodeId base = c * cfg_.cluster_size;
+  core::SessionSpec spec;
+  spec.kind = core::TrafficKind::kRoute;
+  spec.s = base + rng_.next_below(cfg_.cluster_size);
+  spec.t = base + other_than(rng_, cfg_.cluster_size, spec.s - base);
+  spec.admit_at = static_cast<std::uint64_t>(at_);
+  if (cfg_.mean_lifetime > 0.0) {
+    const double life = exp_draw(rng_, cfg_.mean_lifetime);
+    spec.depart_at =
+        spec.admit_at + std::max<std::uint64_t>(
+                            1, static_cast<std::uint64_t>(life));
+  }
+  return spec;
+}
+
 TrafficCell summarize_traffic(const std::vector<core::SessionReport>& reports,
                               std::uint64_t final_clock) {
   TrafficCell cell;
@@ -150,9 +186,13 @@ TrafficCell summarize_traffic(const std::vector<core::SessionReport>& reports,
     cell.delivered += r.delivered;
     cell.certified += r.failure_certified;
     cell.exhausted += r.exhausted;
+    cell.departed += r.departed;
     cell.transmissions += r.transmissions;
     cell.restarts += r.restarts;
-    if (r.finished) tx.add(static_cast<double>(r.transmissions));
+    // Departed sessions never completed; their partial walks would skew
+    // the completion percentiles.
+    if (r.finished && !r.departed)
+      tx.add(static_cast<double>(r.transmissions));
   }
   if (tx.count() > 0) {
     cell.p50_tx = tx.percentile(50.0);
@@ -169,6 +209,21 @@ TrafficCell traffic_experiment(const graph::Graph& g, const Workload& w,
   opt.hybrid_walker = random_walk_factory();
   core::TrafficEngine engine(g, opt);
   engine.admit_all(w.sessions);
+  engine.run();
+  return summarize_traffic(engine.reports(), engine.clock());
+}
+
+TrafficCell open_loop_traffic_experiment(const graph::Graph& g,
+                                         const OpenLoopWorkload::Config& cfg,
+                                         std::uint64_t seq_seed,
+                                         unsigned threads, unsigned shards) {
+  core::TrafficOptions opt;
+  opt.seq_seed = seq_seed;
+  opt.threads = threads;
+  opt.shards = shards;
+  core::TrafficEngine engine(g, opt);
+  OpenLoopWorkload source(cfg);
+  engine.attach_arrivals(source);
   engine.run();
   return summarize_traffic(engine.reports(), engine.clock());
 }

@@ -28,12 +28,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/traffic.h"
 #include "graph/churn.h"
 #include "graph/graph.h"
+#include "util/rng.h"
 
 namespace uesr::baselines {
 
@@ -66,6 +68,51 @@ Workload mixed_workload(graph::NodeId n, int sessions,
                         double mean_interarrival, std::uint64_t hybrid_ttl,
                         std::uint64_t seed);
 
+/// A core::ArrivalSource generating a Poisson arrival/departure process
+/// lazily — the open-loop counterpart of poisson_workload, built for
+/// horizons where materializing the schedule up front (millions of specs)
+/// would dominate memory.  Every draw derives from one Pcg32 stream seeded
+/// by `seed`, so the stream is a PURE FUNCTION of its Config: fresh()
+/// hands back a rewound clone, and replaying it yields bit-identical
+/// specs — the property the open-loop purity tests pin.
+///
+/// Endpoints are CLUSTER-LOCAL: on a disjoint_copies(cluster, k) topology
+/// of `clusters` copies of `cluster_size` nodes, each session picks one
+/// cluster uniformly and a distinct (s, t) pair inside it.  That keeps
+/// per-session UES hit times bounded by the cluster size, which is what
+/// makes the million-scale E12 row feasible (a uniform pair on one
+/// connected 10^6-node graph would need ~n^2 steps per walk).
+class OpenLoopWorkload final : public core::ArrivalSource {
+ public:
+  struct Config {
+    graph::NodeId cluster_size = 2;  ///< nodes per cluster (>= 2)
+    graph::NodeId clusters = 1;      ///< disjoint copies (>= 1)
+    std::uint64_t sessions = 0;      ///< total arrivals before nullopt
+    double mean_interarrival = 0.0;  ///< Exp inter-arrival ticks (0 = burst)
+    /// Mean Exp session lifetime in ticks; 0 = sessions never depart.
+    /// Draws clamp to >= 1 so depart_at > admit_at always holds.
+    double mean_lifetime = 0.0;
+    std::uint64_t seed = 1;
+  };
+
+  explicit OpenLoopWorkload(const Config& cfg);
+
+  /// Human-readable cell label (mirrors the closed-loop generators).
+  const std::string& name() const { return name_; }
+
+  /// A rewound clone: same Config, stream restarted from the seed.
+  OpenLoopWorkload fresh() const { return OpenLoopWorkload(cfg_); }
+
+  std::optional<core::SessionSpec> next() override;
+
+ private:
+  Config cfg_;
+  std::string name_;
+  util::Pcg32 rng_;
+  double at_ = 0.0;           ///< continuous arrival time accumulator
+  std::uint64_t emitted_ = 0;
+};
+
 /// One experiment cell: per-session verdicts and latency percentiles
 /// folded in session-id order.  Every field is thread-count invariant
 /// (pinned by the traffic ThreadInvariance tests).
@@ -74,10 +121,12 @@ struct TrafficCell {
   int delivered = 0;
   int certified = 0;   ///< route failure certificates
   int exhausted = 0;   ///< hybrid no-verdict terminations
+  int departed = 0;    ///< open-loop sessions that left before a verdict
   std::uint64_t transmissions = 0;  ///< total frames across all sessions
   std::uint64_t restarts = 0;       ///< dynamic-mode epoch restarts
   std::uint64_t final_clock = 0;    ///< shared-clock tick the engine drained at
-  /// Per-session completion transmissions (p50/p99 over sessions).  In
+  /// Per-session completion transmissions (p50/p99 over completed
+  /// sessions; open-loop departures are excluded).  In
   /// the slotted model these equal per-session latency in clock ticks:
   /// one slot per frame, and free steps cost nothing (pinned by the
   /// SharedClockAccounting test).
@@ -96,6 +145,15 @@ TrafficCell summarize_traffic(const std::vector<core::SessionReport>& reports,
 /// the returned cell is bit-identical for any value.
 TrafficCell traffic_experiment(const graph::Graph& g, const Workload& w,
                                std::uint64_t seq_seed, unsigned threads);
+
+/// E12 open-loop kernel: streams `cfg` into a sharded TrafficEngine over
+/// `g` via attach_arrivals() and folds the drained reports.  `shards`
+/// follows TrafficOptions::shards (0 = one per worker lane); the cell is
+/// bit-identical for any threads/shards value.
+TrafficCell open_loop_traffic_experiment(const graph::Graph& g,
+                                         const OpenLoopWorkload::Config& cfg,
+                                         std::uint64_t seq_seed,
+                                         unsigned threads, unsigned shards);
 
 /// Churn-overlaid: the same, over a scenario advancing one epoch every
 /// `epoch_period` ticks for `max_epochs` epochs (then frozen).

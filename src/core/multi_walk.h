@@ -1,0 +1,150 @@
+// Structure-of-arrays multi-walk stepping kernel for Algorithm Route.
+//
+// RouteSession executes one walk; a traffic shard executes hundreds of
+// thousands over the SAME reduced graph, and at that scale the session
+// object itself is the bottleneck: each step chases session-object
+// pointers, consults a per-session symbol window, and leaves the memory
+// system idle while one dependent rotation load resolves.  MultiWalkArena
+// keeps walk state in parallel flat arrays (26 B per walk) and steps
+// kBlockLanes walks per slot sweep against one shared packed cubic graph:
+//
+//   * slot-major sweeps — for each transmission slot, every lane in the
+//     block advances once, so the block's rotation loads are all in
+//     flight together (memory-level parallelism instead of one serial
+//     load chain per walk);
+//   * software prefetch — each sweep first touches every lane's next
+//     half-edge region &far_nodes[3*node] one slot ahead of its use;
+//   * branch-free rotate3 — the packed far-node/2-bit-port pair from
+//     graph::Graph's cubic layout, no offsets, no HalfEdge structs;
+//   * shared symbols — ONE ExplorationSequence object (from the
+//     SequenceCache) feeds every lane through per-call scratch windows
+//     (kBlockLanes x kSymbolWindow, ~16 KB transient), so a million walks
+//     hold no per-walk symbol storage.
+//
+// Semantics are pinned to RouteSession step for step: same transmission
+// counts, same turn-around ticks, same verdicts (tests/core/
+// multi_walk_test.cpp drives both in lockstep).  The arena handles
+// exactly the hot case — kRoute sessions with s != t over a static,
+// perfect-link cubic reduction; everything else stays on the scalar
+// lanes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "explore/degree_reduce.h"
+#include "explore/sequence.h"
+#include "graph/graph.h"
+
+namespace uesr::core {
+
+class MultiWalkArena {
+ public:
+  /// Lanes per block sweep: enough independent loads to saturate the
+  /// memory system, small enough that the scratch symbol windows stay
+  /// cache-resident.
+  static constexpr std::size_t kBlockLanes = 64;
+  /// Symbols fetched per window refill; one virtual fill() serves up to a
+  /// whole round's forward run.
+  static constexpr std::size_t kSymbolWindow = 64;
+
+  /// `net` must be cubic (every reduce_to_cubic output is) and, with
+  /// `seq`, must outlive the arena.
+  MultiWalkArena(const explore::ReducedGraph& net,
+                 const explore::ExplorationSequence& seq);
+
+  /// Admits the walk s -> t (original names, s != t); returns its walk
+  /// index (dense, in admission order).  State is never freed: a finished
+  /// walk keeps its 26 bytes until the arena dies.
+  std::size_t admit(graph::NodeId s, graph::NodeId t);
+
+  std::size_t size() const { return node_.size(); }
+
+  /// The kernel: grants each of walks[0..count) up to `budget` further
+  /// transmissions, sweeping kBlockLanes walks per slot.  Finished walks
+  /// in the list are skipped for free.  Each walk's trajectory is
+  /// independent of the others, so any partition of a walk set into
+  /// step_block calls yields bit-identical per-walk outcomes.
+  void step_block(const std::size_t* walks, std::size_t count,
+                  std::uint64_t budget);
+
+  /// Single-walk convenience (the property tests' budget-pattern driver).
+  void step_walk(std::size_t w, std::uint64_t budget) {
+    step_block(&w, 1, budget);
+  }
+
+  bool finished(std::size_t w) const { return (flags_[w] & kFinished) != 0; }
+  /// Status success; meaningful once finished() (mirrors RouteSession).
+  bool delivered(std::size_t w) const {
+    return (flags_[w] & kSuccess) != 0;
+  }
+  bool target_reached(std::size_t w) const {
+    return (flags_[w] & kTargetReached) != 0;
+  }
+  std::uint64_t transmissions(std::size_t w) const { return tx_[w]; }
+  /// Header index j (symbols consumed), for the lockstep property tests.
+  std::uint64_t index(std::size_t w) const { return index_[w]; }
+  /// Original name of the node currently holding the message.
+  graph::NodeId current_original(std::size_t w) const;
+
+  /// Heap bytes of per-walk state (the §2.13 memory accounting).
+  std::size_t walk_state_bytes() const;
+
+ private:
+  static constexpr std::uint8_t kInjected = 1;
+  static constexpr std::uint8_t kBackward = 2;
+  static constexpr std::uint8_t kFinished = 4;
+  static constexpr std::uint8_t kSuccess = 8;
+  static constexpr std::uint8_t kTargetReached = 16;
+
+  /// "No deferred target check" sentinel for step_lane's out-param (never
+  /// a real gadget node: reductions keep 3n well under 2^32 - 1).
+  static constexpr graph::NodeId kNoCheck = ~graph::NodeId{0};
+
+  /// One step() of lane r (scratch row r, walk walks_[r]).  kIsBackward
+  /// is the lane's direction at entry (the sweeps keep lanes partitioned
+  /// so it is statically known).  Forward: returns whether the lane
+  /// turned backward (always one transmission).  Backward: returns
+  /// whether the lane is still stepping (false = the free terminate just
+  /// finished it, zero transmissions).  When the step needs a target
+  /// check, writes the landing node to *landed (and prefetches
+  /// original_of_ there) for the block's deferred flag sweep.
+  template <bool kIsBackward>
+  bool step_lane(std::size_t w, std::size_t r, graph::NodeId* landed);
+
+  /// Warms entry v's packed rotation lines (far-node triple + port word)
+  /// one slot ahead of their use.
+  void prefetch_node(graph::NodeId v) const {
+    const std::size_t i = 3 * static_cast<std::size_t>(v);
+    __builtin_prefetch(far_ + i, 0, 1);
+    __builtin_prefetch(far_ + i + 2, 0, 1);  // 12 B span may cross a line
+    __builtin_prefetch(ports_->word_of(i), 0, 1);
+  }
+  explore::Symbol lane_symbol(std::size_t w, std::size_t r, std::uint64_t j);
+
+  // Shared immutable structure (borrowed).
+  const explore::ReducedGraph* net_;
+  const explore::ExplorationSequence* seq_;
+  std::uint64_t seq_length_;
+  const graph::NodeId* far_;            // packed cubic rotation map
+  const util::PackedArray* ports_;
+  const graph::NodeId* original_of_;
+
+  // Per-walk SoA state, indexed by walk id.
+  std::vector<graph::NodeId> node_;     // current gadget (start pre-inject)
+  std::vector<std::uint8_t> port_;      // arrival port (0..2)
+  std::vector<std::uint8_t> flags_;
+  std::vector<graph::NodeId> target_;   // target original name
+  std::vector<std::uint64_t> index_;    // header.index (symbols consumed)
+  std::vector<std::uint64_t> tx_;
+
+  // Per-call scratch: lane r's symbol window is
+  // symbols_[r*kSymbolWindow .. +win_len_[r]) covering indices starting at
+  // win_lo_[r].  Reset (len 0) at the start of every block.
+  std::vector<explore::Symbol> symbols_;
+  std::vector<std::uint64_t> win_lo_;
+  std::vector<std::uint64_t> win_len_;
+};
+
+}  // namespace uesr::core

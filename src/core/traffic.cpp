@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/dynamic_route.h"
+#include "core/multi_walk.h"
 #include "explore/sequence_cache.h"
 #include "net/message.h"
 #include "util/parallel.h"
@@ -245,6 +246,21 @@ struct TrafficEngine::PoolHolder {
   explicit PoolHolder(unsigned threads) : pool(threads) {}
 };
 
+/// One shard of the static perfect-link route fast path: a disjoint SoA
+/// arena plus its in-flight session ids.  A round steps each shard from
+/// exactly one worker (parallel_for over shards, chunk 1), and every
+/// per-session outcome is independent of which shard the session landed
+/// on, so reports are bit-identical for any shard count.
+struct TrafficEngine::Shard {
+  MultiWalkArena arena;
+  std::vector<std::size_t> active;        ///< session ids, ascending
+  std::vector<std::size_t> walks;         ///< scratch: walk per active id
+  std::vector<std::uint64_t> tx_before;   ///< scratch: round tx baseline
+  Shard(const explore::ReducedGraph& net,
+        const explore::ExplorationSequence& seq)
+      : arena(net, seq) {}
+};
+
 TrafficEngine::TrafficEngine(const graph::Graph& g, TrafficOptions options)
     : options_(options), graph_(&g), reduced_(explore::reduce_to_cubic(g)) {
   if (options_.batch == 0)
@@ -252,6 +268,14 @@ TrafficEngine::TrafficEngine(const graph::Graph& g, TrafficOptions options)
   seq_ = explore::cached_standard_ues(
       std::max<NodeId>(reduced_.cubic.num_nodes(), 1), options_.seq_seed);
   pool_ = std::make_unique<PoolHolder>(options_.threads);
+  if (!options_.lossy) {
+    // Static perfect-link mode: route sessions run on sharded SoA arenas.
+    const unsigned shard_count =
+        options_.shards ? options_.shards : pool_->pool.size();
+    shards_.reserve(shard_count);
+    for (unsigned i = 0; i < shard_count; ++i)
+      shards_.push_back(std::make_unique<Shard>(reduced_, *seq_));
+  }
 }
 
 TrafficEngine::TrafficEngine(const graph::Scenario& scenario,
@@ -296,6 +320,9 @@ std::size_t TrafficEngine::admit(const SessionSpec& spec) {
   if (spec.admit_at < clock_)
     throw std::invalid_argument(
         "TrafficEngine::admit: admit_at is in the past");
+  if (spec.depart_at != 0 && spec.depart_at <= spec.admit_at)
+    throw std::invalid_argument(
+        "TrafficEngine::admit: depart_at must be > admit_at");
   const std::size_t id = reports_.size();
   SessionReport r;
   r.kind = spec.kind;
@@ -306,9 +333,79 @@ std::size_t TrafficEngine::admit(const SessionSpec& spec) {
   lanes_.push_back(nullptr);  // built at activation (dynamic lanes must
                               // see the epoch they arrive in)
   specs_.push_back(spec);
+  arena_walk_.push_back(static_cast<std::size_t>(-1));
   pending_.push_back(id);
   ++unfinished_;
+  if (spec.depart_at != 0) any_departures_ = true;
   return id;
+}
+
+void TrafficEngine::attach_arrivals(ArrivalSource& source) {
+  arrivals_ = &source;
+  arrivals_done_ = false;
+}
+
+void TrafficEngine::pull_arrivals() {
+  if (arrivals_done_ && !staged_arrival_) return;
+  for (;;) {
+    if (!staged_arrival_) {
+      if (arrivals_done_) return;
+      staged_arrival_ = arrivals_->next();
+      if (!staged_arrival_) {
+        arrivals_done_ = true;
+        return;
+      }
+    }
+    // Anything beyond this round's reach stays staged; since rounds
+    // advance the clock by at most batch ticks, the staged arrival can
+    // never slip into the past.  admit() enforces nondecreasing streams
+    // (an out-of-order arrival is "in the past" by construction).
+    if (staged_arrival_->admit_at > clock_ + options_.batch) return;
+    admit(*staged_arrival_);
+    staged_arrival_.reset();
+  }
+}
+
+void TrafficEngine::process_departures() {
+  if (!any_departures_) return;
+  // Serial, in id order within each list: departures are report writes.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const std::size_t id = active_[i];
+    const std::uint64_t d = specs_[id].depart_at;
+    if (d == 0 || d > clock_) {
+      active_[kept++] = id;
+      continue;
+    }
+    SessionReport& r = reports_[id];
+    r.finished = true;
+    r.departed = true;
+    r.transmissions = lanes_[id]->transmissions();
+    r.completed_at = clock_;
+    lanes_[id].reset();
+    --unfinished_;
+  }
+  active_.resize(kept);
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    kept = 0;
+    for (std::size_t i = 0; i < sh.active.size(); ++i) {
+      const std::size_t id = sh.active[i];
+      const std::uint64_t d = specs_[id].depart_at;
+      if (d == 0 || d > clock_) {
+        sh.active[kept++] = id;
+        continue;
+      }
+      SessionReport& r = reports_[id];
+      r.finished = true;
+      r.departed = true;
+      r.transmissions = sh.arena.transmissions(arena_walk_[id]);
+      r.completed_at = clock_;
+      --unfinished_;
+      --arena_active_;
+    }
+    sh.active.resize(kept);
+  }
 }
 
 void TrafficEngine::admit_all(const std::vector<SessionSpec>& specs) {
@@ -324,6 +421,24 @@ void TrafficEngine::activate_arrivals() {
       continue;
     }
     const SessionSpec& spec = specs_[id];
+    // Route fast path: static perfect-link kRoute sessions land on a SoA
+    // arena shard (id % shards) instead of a scalar lane; the degenerate
+    // s == t session never transmits and completes at activation.
+    if (!shards_.empty() && spec.kind == TrafficKind::kRoute) {
+      if (spec.s == spec.t) {
+        SessionReport& r = reports_[id];
+        r.finished = true;
+        r.delivered = true;
+        r.completed_at = clock_;
+        --unfinished_;
+      } else {
+        Shard& sh = *shards_[id % shards_.size()];
+        arena_walk_[id] = sh.arena.admit(spec.s, spec.t);
+        sh.active.push_back(id);
+        ++arena_active_;
+      }
+      continue;
+    }
     if (options_.lossy && dynamic()) {
       lanes_[id] = std::make_unique<LossyDynamicRouteLane>(
           *dynamic_graph_, spec.s, spec.t, *options_.lossy,
@@ -376,9 +491,22 @@ void TrafficEngine::advance_epochs_to(std::uint64_t tick) {
 
 std::size_t TrafficEngine::run_round() {
   advance_epochs_to(clock_);
+  pull_arrivals();
   activate_arrivals();
-  if (active_.empty()) {
-    if (pending_.empty()) return unfinished_;
+  process_departures();
+  if (active_.empty() && arena_active_ == 0) {
+    if (pending_.empty()) {
+      // Open loop: nothing in flight and nothing scheduled — stage the
+      // next stream arrival (possibly far beyond this round's reach) so
+      // the idle fast-forward below has a tick to jump to.
+      if (!staged_arrival_ && !arrivals_done_) {
+        staged_arrival_ = arrivals_->next();
+        if (!staged_arrival_) arrivals_done_ = true;
+      }
+      if (!staged_arrival_) return unfinished_;
+      admit(*staged_arrival_);
+      staged_arrival_.reset();
+    }
     // Idle gap: fast-forward to the next arrival, crossing any scenario
     // epochs scheduled in between.
     std::uint64_t next = kNever;
@@ -386,7 +514,9 @@ std::size_t TrafficEngine::run_round() {
       next = std::min(next, reports_[id].admitted_at);
     clock_ = next;
     advance_epochs_to(clock_);
+    pull_arrivals();
     activate_arrivals();
+    process_departures();
   }
   // Lossy-dynamic mode: once the epoch schedule froze, no blocked session
   // can ever heal — resolve them to their no-verdict end state (serial, in
@@ -394,13 +524,54 @@ std::size_t TrafficEngine::run_round() {
   if (options_.lossy && dynamic() && ticks_to_epoch() == kNever)
     for (std::size_t id : active_) lanes_[id]->give_up();
   // Round length: the batch, clamped so no session steps across a
-  // scenario-epoch boundary or past a not-yet-admitted arrival.
+  // scenario-epoch boundary, past a not-yet-admitted arrival, or past a
+  // departure tick.  All clamps read global state only, so the grant —
+  // and with it every report — is identical for any thread/shard count.
   std::uint64_t slots = options_.batch;
   slots = std::min(slots, ticks_to_epoch());
   for (std::size_t id : pending_)
     slots = std::min(slots, reports_[id].admitted_at - clock_);
+  if (any_departures_) {
+    for (std::size_t id : active_)
+      if (specs_[id].depart_at)
+        slots = std::min(slots, specs_[id].depart_at - clock_);
+    for (const auto& shp : shards_)
+      for (std::size_t id : shp->active)
+        if (specs_[id].depart_at)
+          slots = std::min(slots, specs_[id].depart_at - clock_);
+  }
 
   util::ThreadPool& pool = pool_->pool;
+  // Arena phase: whole shards in parallel, one worker per shard; inside a
+  // shard the SoA kernel block-steps every in-flight walk by `slots`.
+  if (arena_active_ > 0) {
+    util::parallel_for(
+        pool, shards_.size(), 1, [&](const util::ChunkRange& c) {
+          for (std::uint64_t si = c.begin; si < c.end; ++si) {
+            Shard& sh = *shards_[static_cast<std::size_t>(si)];
+            const std::size_t m = sh.active.size();
+            if (m == 0) continue;
+            sh.walks.resize(m);
+            sh.tx_before.resize(m);
+            for (std::size_t k = 0; k < m; ++k) {
+              sh.walks[k] = arena_walk_[sh.active[k]];
+              sh.tx_before[k] = sh.arena.transmissions(sh.walks[k]);
+            }
+            sh.arena.step_block(sh.walks.data(), m, slots);
+            for (std::size_t k = 0; k < m; ++k) {
+              const std::size_t id = sh.active[k];
+              if (!sh.arena.finished(sh.walks[k])) continue;
+              SessionReport& r = reports_[id];
+              r.finished = true;
+              r.transmissions = sh.arena.transmissions(sh.walks[k]);
+              r.completed_at =
+                  clock_ + (r.transmissions - sh.tx_before[k]);
+              r.delivered = sh.arena.delivered(sh.walks[k]);
+              r.failure_certified = !r.delivered;
+            }
+          }
+        });
+  }
   const std::uint64_t n = active_.size();
   util::parallel_for(
       pool, n, util::default_chunk(n, pool.size()),
@@ -443,11 +614,26 @@ std::size_t TrafficEngine::run_round() {
     }
   }
   active_.resize(kept);
+  // Arena walks retire by list compaction only; their SoA rows stay.
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    kept = 0;
+    for (std::size_t i = 0; i < sh.active.size(); ++i) {
+      const std::size_t id = sh.active[i];
+      if (reports_[id].finished) {
+        --unfinished_;
+        --arena_active_;
+      } else {
+        sh.active[kept++] = id;
+      }
+    }
+    sh.active.resize(kept);
+  }
   return unfinished_;
 }
 
 void TrafficEngine::run() {
-  while (unfinished_ > 0) run_round();
+  while (unfinished_ > 0 || staged_arrival_ || !arrivals_done_) run_round();
 }
 
 const SessionReport& TrafficEngine::report(std::size_t id) const {

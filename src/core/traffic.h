@@ -71,6 +71,12 @@ struct SessionSpec {
   std::uint64_t admit_at = 0;  ///< clock tick the session arrives at
   /// kHybrid only: TTL of the probabilistic token (0 = unlimited).
   std::uint64_t hybrid_ttl = 0;
+  /// Open-loop departures: 0 = stay until the verdict; otherwise the clock
+  /// tick the user gives up and leaves (must be > admit_at).  A session
+  /// still in flight at depart_at retires with NO verdict (the report's
+  /// `departed` flag) — rounds clamp to departure ticks, so the retirement
+  /// instant is exact on the shared clock.
+  std::uint64_t depart_at = 0;
 };
 
 struct SessionReport {
@@ -84,6 +90,10 @@ struct SessionReport {
   bool failure_certified = false;
   /// Hybrid only: both sides done without a verdict (see hybrid.h).
   bool exhausted = false;
+  /// Open-loop only: the session left at its depart_at tick, still in
+  /// flight — finished with no verdict (delivered / failure_certified
+  /// both stay false).
+  bool departed = false;
   /// Lossy mode only: some hop spent its retry budget and no epoch could
   /// heal it — the graceful no-verdict degradation (never a wrong
   /// certificate; see core/lossy_route.h).
@@ -146,6 +156,24 @@ struct LossyTrafficConfig {
   std::uint64_t chaos_seed = 0x5eedc4a0;  ///< chaos sampling randomness
 };
 
+/// Pull-based open-loop arrival stream (the ISSUE-9 admission mode): the
+/// engine pulls arrivals instead of having them all admitted up front, so
+/// Poisson processes can feed long horizons without materializing millions
+/// of specs.  next() must yield specs in NONDECREASING admit_at order (the
+/// engine throws otherwise).  Each round the engine drains every arrival
+/// with admit_at <= clock + batch BEFORE computing the round's slot grant;
+/// since a round never advances the clock by more than batch ticks, a
+/// pulled admission can never land in the past — and pulled-but-future
+/// admissions clamp the round exactly like up-front ones, so reports stay
+/// bit-identical to the equivalent admit_all() schedule.
+class ArrivalSource {
+ public:
+  virtual ~ArrivalSource() = default;
+  /// The next arrival, or nullopt when the stream is exhausted (final —
+  /// the engine never asks again).
+  virtual std::optional<SessionSpec> next() = 0;
+};
+
 struct TrafficOptions {
   std::uint64_t seq_seed = 0x5eed0001;  ///< T_n family seed
   /// Hybrid token streams: session id's walker is seeded
@@ -160,6 +188,14 @@ struct TrafficOptions {
   /// Worker lanes (0 = UESR_THREADS env, else hardware).  Data cells are
   /// bit-identical for any value.
   unsigned threads = 1;
+  /// Session shards for the static perfect-link route fast path: each
+  /// shard owns a disjoint MultiWalkArena (sessions land on shard
+  /// id % shards) and rounds step whole shards in parallel, one worker per
+  /// shard, with the SoA block kernel.  0 = one shard per worker lane.
+  /// Reports are bit-identical for ANY value (sessions are state-disjoint
+  /// and the round's slot grant is computed globally), so this is purely a
+  /// parallelism/locality knob — DESIGN.md §2.13.
+  unsigned shards = 1;
   /// Dynamic mode: clock ticks per scenario epoch (>= 1) and schedule
   /// length; ignored in static mode.
   std::uint64_t epoch_period = 64;
@@ -190,6 +226,12 @@ class TrafficEngine {
   std::size_t admit(const SessionSpec& spec);
   void admit_all(const std::vector<SessionSpec>& specs);
 
+  /// Open-loop mode: the engine pulls arrivals from `source` (which must
+  /// outlive the engine) as the clock reaches them; run() drains the
+  /// stream.  Composes with admit()/admit_all() — pulled arrivals are
+  /// ordinary admissions.
+  void attach_arrivals(ArrivalSource& source);
+
   /// Runs one scheduling round: activates arrivals, grants every active
   /// session up to `batch` slots (in parallel), advances the clock and —
   /// in dynamic mode — the scenario.  When no session is active the clock
@@ -197,10 +239,12 @@ class TrafficEngine {
   /// sessions not yet finished.
   std::size_t run_round();
 
-  /// Rounds until every admitted session finished.
+  /// Rounds until every admitted session finished and any attached
+  /// arrival stream is drained.
   void run();
 
-  struct Lane;  ///< per-session stepper (defined in traffic.cpp)
+  struct Lane;   ///< per-session stepper (defined in traffic.cpp)
+  struct Shard;  ///< arena shard of the route fast path (traffic.cpp)
 
   std::uint64_t clock() const { return clock_; }
   /// Dynamic mode: the committed epoch of the shared topology (0 static).
@@ -216,6 +260,11 @@ class TrafficEngine {
 
  private:
   void activate_arrivals();
+  /// Open-loop: drains every attached-stream arrival due within this
+  /// round's reach (admit_at <= clock + batch) into ordinary admissions.
+  void pull_arrivals();
+  /// Serially retires active sessions whose depart_at tick has come.
+  void process_departures();
   /// Clock ticks until the next scenario epoch (dynamic), or forever.
   std::uint64_t ticks_to_epoch() const;
   void advance_epochs_to(std::uint64_t tick);
@@ -238,6 +287,18 @@ class TrafficEngine {
   std::vector<std::unique_ptr<Lane>> lanes_;  ///< indexed by session id
   std::vector<SessionReport> reports_;        ///< indexed by session id
   std::vector<SessionSpec> specs_;            ///< indexed by session id
+  /// Route fast path: session shards, each owning a disjoint SoA arena
+  /// (static perfect-link mode only; empty otherwise).  arena_walk_[id] is
+  /// the session's walk index inside its shard (id % shards_.size()).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::size_t> arena_walk_;
+  std::size_t arena_active_ = 0;  ///< walks in flight across all shards
+  /// Open-loop stream state: the attached source, its staged (pulled but
+  /// not yet due) head, and whether next() returned its final nullopt.
+  ArrivalSource* arrivals_ = nullptr;
+  std::optional<SessionSpec> staged_arrival_;
+  bool arrivals_done_ = true;
+  bool any_departures_ = false;  ///< skip departure scans when none exist
   /// Ids of admitted-not-yet-activated sessions, in admission order (NOT
   /// sorted by admit_at): activation and the round-length clamp scan the
   /// whole list each round, and lanes are built in ascending id order

@@ -1,5 +1,7 @@
 #include "explore/sequence_cache.h"
 
+#include <mutex>
+
 namespace uesr::explore {
 
 std::shared_ptr<const ExplorationSequence> SequenceCache::standard(
@@ -11,44 +13,55 @@ std::shared_ptr<const ExplorationSequence> SequenceCache::get(
     const std::string& family, graph::NodeId size_bound, std::uint64_t seed,
     const std::function<std::shared_ptr<const ExplorationSequence>()>&
         build) {
-  std::lock_guard<std::mutex> lock(m_);
-  auto [it, inserted] =
-      entries_.try_emplace(Key{family, seed, size_bound}, nullptr);
-  if (inserted) {
-    ++misses_;
-    // Built under the lock so a key is built exactly once; builders are
-    // cheap (counter-based families store no symbols).
-    try {
-      it->second = build();
-    } catch (...) {
-      entries_.erase(it);  // never cache a failed build as a null hit
-      throw;
+  const Key key{family, seed, size_bound};
+  {
+    // Hit path: shared lock only, so concurrent lanes read in parallel.  A
+    // null value is never visible here — entries are inserted and built
+    // while the exclusive lock is held.
+    std::shared_lock<std::shared_mutex> lock(m_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
     }
-  } else {
-    ++hits_;
+  }
+  std::unique_lock<std::shared_mutex> lock(m_);
+  auto [it, inserted] = entries_.try_emplace(key, nullptr);
+  if (!inserted) {
+    // Lost the upgrade race: another thread built it between our locks.
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Built under the exclusive lock so a key is built exactly once; builders
+  // are cheap (counter-based families store no symbols).
+  try {
+    it->second = build();
+  } catch (...) {
+    entries_.erase(it);  // never cache a failed build as a null hit
+    throw;
   }
   return it->second;
 }
 
 std::size_t SequenceCache::size() const {
-  std::lock_guard<std::mutex> lock(m_);
+  std::shared_lock<std::shared_mutex> lock(m_);
   return entries_.size();
 }
 
 std::uint64_t SequenceCache::hits() const {
-  std::lock_guard<std::mutex> lock(m_);
-  return hits_;
+  return hits_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t SequenceCache::misses() const {
-  std::lock_guard<std::mutex> lock(m_);
-  return misses_;
+  return misses_.load(std::memory_order_relaxed);
 }
 
 void SequenceCache::clear() {
-  std::lock_guard<std::mutex> lock(m_);
+  std::unique_lock<std::shared_mutex> lock(m_);
   entries_.clear();
-  hits_ = misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 SequenceCache& SequenceCache::global() {

@@ -12,18 +12,22 @@
 // which is also how the tests pin the cached/fresh bit-identity.
 //
 // Thread-safe: lookups may race from parallel session lanes
-// (core::TrafficEngine steps sessions over a thread pool); the builder for
-// a missed key runs under the lock, so a key is built exactly once.
+// (core::TrafficEngine steps sessions over a thread pool).  The hit path —
+// what a million concurrent sessions hammer — takes only a shared lock, so
+// readers proceed in parallel; a miss upgrades to the exclusive lock,
+// re-checks, and builds, so a key is still built exactly once.  Hit/miss
+// counters are relaxed atomics (they are statistics, not synchronization).
 // Cached sequences are never evicted — entries are a few dozen bytes
 // (counter-based families store no symbols) — but clear() exists for tests
 // and long-lived processes that sweep many one-off bounds.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "explore/sequence.h"
@@ -68,10 +72,10 @@ class SequenceCache {
     }
   };
 
-  mutable std::mutex m_;
+  mutable std::shared_mutex m_;
   std::map<Key, std::shared_ptr<const ExplorationSequence>> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 /// Shorthand for SequenceCache::global().standard(n, seed) — the drop-in

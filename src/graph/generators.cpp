@@ -131,6 +131,35 @@ Graph barbell(NodeId clique_size, NodeId path_len) {
   return std::move(b).build();
 }
 
+Graph disjoint_copies(const Graph& cluster, NodeId copies) {
+  require(copies >= 1, "disjoint_copies: copies >= 1");
+  const NodeId n = cluster.num_nodes();
+  require(n >= 1, "disjoint_copies: cluster must be non-empty");
+  // Built through the flat CSR path: at a million clusters the nested
+  // vector-of-vectors intermediate would dwarf the graph itself.
+  const std::size_t total = static_cast<std::size_t>(n) * copies;
+  std::vector<std::size_t> offsets(total + 1);
+  offsets[0] = 0;
+  std::size_t m = 0;
+  for (NodeId v = 0; v < n; ++v) m += cluster.degree(v);
+  std::vector<HalfEdge> half_edges;
+  half_edges.reserve(m * copies);
+  std::size_t at = 0;
+  for (NodeId c = 0; c < copies; ++c) {
+    const NodeId base = c * n;
+    for (NodeId v = 0; v < n; ++v) {
+      const Port deg = cluster.degree(v);
+      for (Port p = 0; p < deg; ++p) {
+        HalfEdge far = cluster.rotate(v, p);
+        half_edges.push_back({base + far.node, far.port});
+      }
+      at += deg;
+      offsets[static_cast<std::size_t>(base) + v + 1] = at;
+    }
+  }
+  return from_rotation(std::move(offsets), std::move(half_edges));
+}
+
 Graph petersen() {
   // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
   GraphBuilder b(10);

@@ -42,6 +42,13 @@ Graph lollipop(NodeId clique_size, NodeId path_len);
 /// Barbell: two k-cliques joined by a path of len vertices.
 Graph barbell(NodeId clique_size, NodeId path_len);
 
+/// `copies` disjoint copies of `cluster`, vertex c*|V| + v in copy c mapping
+/// to v.  The million-scale traffic topology: a sea of small clusters keeps
+/// per-session UES walks short while the node count (and session count)
+/// scales without bound.  Ports are copied verbatim, so every copy is
+/// port-isomorphic to the original.
+Graph disjoint_copies(const Graph& cluster, NodeId copies);
+
 // ---- named cubic graphs ------------------------------------------------
 
 Graph petersen();          ///< 10 vertices, girth 5, 3-regular.

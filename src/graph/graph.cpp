@@ -103,6 +103,33 @@ void Graph::finalize_shape() {
       cubic_ = false;
       break;
     }
+  // A far port >= 4 cannot be packed into 2 bits; such an entry is invalid
+  // for a degree-3 vertex anyway, so keep the generic layout and let
+  // validate() reject it with the exact offending range.
+  if (cubic_)
+    for (const HalfEdge& he : half_edges_)
+      if (he.port >= 4) {
+        cubic_ = false;
+        break;
+      }
+  if (cubic_) {
+    // Repack into the memory-lean cubic layout (4 B far node + 2-bit far
+    // port per half-edge) and drop the generic arrays: degrees are implied,
+    // so neither the offsets nor the 8-byte HalfEdge entries earn their
+    // footprint on million-gadget reduced graphs.
+    const std::size_t m = half_edges_.size();
+    far_nodes_.resize(m);
+    far_ports_ = util::PackedArray(2, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      far_nodes_[i] = half_edges_[i].node;
+      far_ports_.set(i, half_edges_[i].port);
+    }
+    offsets_ = {};
+    half_edges_ = {};
+  } else {
+    far_nodes_ = {};
+    far_ports_ = {};
+  }
 }
 
 Port Graph::max_degree() const {
@@ -167,7 +194,9 @@ void Graph::recount_edges() {
     for (Port p = 0; p < degree(v); ++p)
       if (is_half_loop(v, p)) ++half_loops;
   // Every non-fixed-point half-edge pairs with exactly one other.
-  num_edges_ = (half_edges_.size() - half_loops) / 2 + half_loops;
+  const std::size_t total =
+      cubic_ ? far_nodes_.size() : half_edges_.size();
+  num_edges_ = (total - half_loops) / 2 + half_loops;
 }
 
 Graph Graph::relabeled(const std::vector<std::vector<Port>>& perms) const {
@@ -183,15 +212,20 @@ Graph Graph::relabeled(const std::vector<std::vector<Port>>& perms) const {
       seen[p] = true;
     }
   }
-  // Degrees are unchanged, so the offsets carry over; only the half-edge
-  // slots are permuted (both the local slot and the far port it names).
-  std::vector<std::size_t> offsets = offsets_;
-  std::vector<HalfEdge> half_edges(half_edges_.size());
+  // Degrees are unchanged, so the offsets are those of this graph; only the
+  // half-edge slots are permuted (both the local slot and the far port it
+  // names).  Offsets are recomputed from degrees because the cubic layout
+  // stores none.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(num_nodes_) + 1);
+  offsets[0] = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v)
+    offsets[v + 1] = offsets[v] + degree(v);
+  std::vector<HalfEdge> half_edges(offsets[num_nodes_]);
   for (NodeId v = 0; v < num_nodes_; ++v) {
     for (Port p = 0; p < degree(v); ++p) {
       HalfEdge far = rotate(v, p);
-      half_edges[offsets_[v] + perms[v][p]] = {far.node,
-                                               perms[far.node][far.port]};
+      half_edges[offsets[v] + perms[v][p]] = {far.node,
+                                              perms[far.node][far.port]};
     }
   }
   Graph g;

@@ -14,11 +14,15 @@
 // Storage is CSR-style: one flat half-edge array plus per-vertex offsets,
 // so rotate(v, p) is a single load from half_edges_[offsets_[v] + p] —
 // no per-vertex vector indirection on the walk hot path.  The ubiquitous
-// 3-regular case (every ReducedGraph.cubic) is specialized further: when
-// the graph is cubic the index is computed as 3*v + p with no offset load
-// at all (see rotate3/is_cubic).  The layout is an internal detail — the
-// public API is unchanged and observationally identical to the former
-// vector<vector<HalfEdge>> representation (pinned by property tests).
+// 3-regular case (every ReducedGraph.cubic) is specialized further: a
+// cubic graph stores no offsets and no 8-byte HalfEdge array at all —
+// index 3*v + p selects a 4-byte far-node entry plus a 2-bit far-port
+// entry in a util::PackedArray, shrinking per-half-edge cost from
+// 8 B (+ 8 B/vertex of offsets) to 4.25 B so million-gadget reduced
+// graphs step at cache speed (see rotate3/is_cubic/far_node_data).  The
+// layout is an internal detail — the public API is unchanged and
+// observationally identical to the former vector<vector<HalfEdge>>
+// representation (pinned by property tests).
 //
 // A Graph is immutable after construction (build it with GraphBuilder);
 // relabelling — the operation universality quantifies over — produces a new
@@ -31,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "util/bitpack.h"
 #include "util/rng.h"
 
 namespace uesr::graph {
@@ -98,21 +103,34 @@ class Graph {
   /// The rotation map: the half-edge at the far end of (v, p).
   /// For a half-loop this is (v, p) itself.
   HalfEdge rotate(NodeId v, Port p) const {
-    return cubic_ ? half_edges_[3 * static_cast<std::size_t>(v) + p]
-                  : half_edges_[offsets_[v] + p];
+    return cubic_ ? rotate3(v, p) : half_edges_[offsets_[v] + p];
   }
 
   /// rotate() specialized for 3-regular graphs: port arithmetic is 3*v + p
-  /// with no offset load.  Precondition: is_cubic().
+  /// with no offset load — a 4-byte far-node load plus a 2-bit packed port
+  /// read.  Precondition: is_cubic().
   HalfEdge rotate3(NodeId v, Port p) const {
-    return half_edges_[3 * static_cast<std::size_t>(v) + p];
+    const std::size_t i = 3 * static_cast<std::size_t>(v) + p;
+    return {far_nodes_[i], static_cast<Port>(far_ports_.get(i))};
   }
 
   /// Raw CSR half-edge array (length = sum of degrees), for perf-critical
   /// consumers that cache the pointer across millions of steps: entry
-  /// offsets_[v] + p — or 3*v + p when is_cubic() — is rotate(v, p).
+  /// offsets_[v] + p is rotate(v, p).  Non-cubic graphs only — a cubic
+  /// graph stores no HalfEdge array (nullptr is returned); its consumers
+  /// use the packed pair far_node_data()/far_ports() instead.
   /// Invalidated by destroying/assigning the graph, like vector::data.
-  const HalfEdge* half_edge_data() const { return half_edges_.data(); }
+  const HalfEdge* half_edge_data() const {
+    return cubic_ ? nullptr : half_edges_.data();
+  }
+
+  /// The 3-regular packed rotation map: far_node_data()[3*v + p] is
+  /// rotate(v, p).node and far_ports().get(3*v + p) its far port.  The two
+  /// arrays are the whole cubic storage — 4 B + 2 bit per half-edge — and
+  /// what the multi-walk stepping kernel prefetches.  Precondition:
+  /// is_cubic(); invalidated like vector::data.
+  const NodeId* far_node_data() const { return far_nodes_.data(); }
+  const util::PackedArray& far_ports() const { return far_ports_; }
 
   /// The vertex reached when leaving v through port p.
   NodeId neighbor(NodeId v, Port p) const { return rotate(v, p).node; }
@@ -157,16 +175,23 @@ class Graph {
   /// Installs an already-flat rotation map (offsets.size() == n + 1).
   void adopt_flat(std::vector<std::size_t> offsets,
                   std::vector<HalfEdge> half_edges);
-  /// Derived-field maintenance after offsets_/half_edges_ change.
+  /// Derived-field maintenance after offsets_/half_edges_ change; detects
+  /// the cubic case and repacks storage into far_nodes_/far_ports_.
   void finalize_shape();
   void recount_edges();
 
   NodeId num_nodes_ = 0;
   bool cubic_ = false;
-  /// offsets_[v]..offsets_[v+1] delimit v's half-edges (size n + 1; empty
-  /// for the default zero-node graph).
+  /// Generic storage: offsets_[v]..offsets_[v+1] delimit v's half-edges
+  /// (size n + 1; empty for the default zero-node graph).  Cubic graphs
+  /// leave BOTH vectors empty and use the packed pair below instead.
   std::vector<std::size_t> offsets_;
   std::vector<HalfEdge> half_edges_;
+  /// Cubic storage: entry 3*v + p is rotate(v, p) split into a 4-byte far
+  /// node and a 2-bit far port.  Deterministically derived from the
+  /// rotation map, so the defaulted operator== stays observational.
+  std::vector<NodeId> far_nodes_;
+  util::PackedArray far_ports_;
   std::size_t num_edges_ = 0;
 };
 

@@ -19,8 +19,7 @@ std::string to_edge_list(const Graph& g) {
   return os.str();
 }
 
-Graph from_edge_list(const std::string& text) {
-  std::istringstream is(text);
+Graph from_edge_list(std::istream& is) {
   std::string magic;
   NodeId n = 0;
   if (!(is >> magic >> n) || magic != "uesr-graph")
@@ -63,6 +62,11 @@ Graph from_edge_list(const std::string& text) {
       if (adj[a][ap].port == Port(~0u))
         throw std::invalid_argument("from_edge_list: port gap");
   return from_rotation(std::move(adj));
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  return from_edge_list(is);
 }
 
 std::string to_dot(const Graph& g, const std::string& name) {

@@ -18,6 +18,13 @@
 namespace uesr::graph {
 
 std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list format from a stream, line by line — the whole
+/// input is never materialized, so million-edge files load in O(line)
+/// transient memory on top of the graph itself.
+Graph from_edge_list(std::istream& in);
+
+/// String convenience: wraps the text in a stream and delegates.
 Graph from_edge_list(const std::string& text);
 
 /// Graphviz DOT (undirected); half loops rendered as self-edges labelled "h".

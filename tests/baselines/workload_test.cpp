@@ -4,6 +4,7 @@
 
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/churn.h"
 #include "graph/generators.h"
@@ -90,12 +91,94 @@ TEST(Workload, MixedBlendsAllThreeKinds) {
   EXPECT_EQ(routes + hybrids + broadcasts, 64);
 }
 
+TEST(OpenLoopWorkload, IsAPureFunctionOfItsSeedAndReplaysViaFresh) {
+  OpenLoopWorkload::Config cfg;
+  cfg.cluster_size = 10;
+  cfg.clusters = 4;
+  cfg.sessions = 200;
+  cfg.mean_interarrival = 1.5;
+  cfg.mean_lifetime = 25.0;
+  cfg.seed = 77;
+  OpenLoopWorkload a(cfg), b(cfg);
+  std::vector<SessionSpec> drained;
+  while (auto s = a.next()) drained.push_back(*s);
+  ASSERT_EQ(drained.size(), 200u);
+  EXPECT_FALSE(a.next().has_value());  // exhaustion is final
+  // A sibling built from the same Config emits the identical stream...
+  for (const SessionSpec& x : drained) {
+    const auto y = b.next();
+    ASSERT_TRUE(y.has_value());
+    EXPECT_EQ(x.s, y->s);
+    EXPECT_EQ(x.t, y->t);
+    EXPECT_EQ(x.admit_at, y->admit_at);
+    EXPECT_EQ(x.depart_at, y->depart_at);
+  }
+  // ...and so does a rewound clone of the drained source itself.
+  OpenLoopWorkload c = a.fresh();
+  for (const SessionSpec& x : drained) {
+    const auto y = c.next();
+    ASSERT_TRUE(y.has_value());
+    EXPECT_EQ(x.admit_at, y->admit_at);
+    EXPECT_EQ(x.s, y->s);
+    EXPECT_EQ(x.t, y->t);
+  }
+  // A different seed diverges.
+  cfg.seed = 78;
+  OpenLoopWorkload d(cfg);
+  bool differs = false;
+  for (const SessionSpec& x : drained) {
+    const auto y = d.next();
+    differs = differs || x.s != y->s || x.t != y->t ||
+              x.admit_at != y->admit_at;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(OpenLoopWorkload, ArrivalsMonotoneClusterLocalAndDeparturesValid) {
+  OpenLoopWorkload::Config cfg;
+  cfg.cluster_size = 8;
+  cfg.clusters = 16;
+  cfg.sessions = 500;
+  cfg.mean_interarrival = 0.7;
+  cfg.mean_lifetime = 12.0;
+  cfg.seed = 3;
+  OpenLoopWorkload w(cfg);
+  std::uint64_t last = 0;
+  std::set<NodeId> clusters_hit;
+  while (auto s = w.next()) {
+    EXPECT_GE(s->admit_at, last);  // the pull contract's precondition
+    last = s->admit_at;
+    EXPECT_EQ(s->kind, TrafficKind::kRoute);
+    EXPECT_NE(s->s, s->t);
+    EXPECT_LT(s->s, 128u);
+    EXPECT_LT(s->t, 128u);
+    // Cluster-local: both endpoints in the same copy.
+    EXPECT_EQ(s->s / 8, s->t / 8);
+    clusters_hit.insert(s->s / 8);
+    ASSERT_GT(s->depart_at, s->admit_at);  // lifetime > 0 => always set
+  }
+  EXPECT_GT(clusters_hit.size(), 8u);  // arrivals spread across copies
+  // lifetime 0: sessions never depart.
+  cfg.mean_lifetime = 0.0;
+  OpenLoopWorkload forever(cfg);
+  while (auto s = forever.next()) EXPECT_EQ(s->depart_at, 0u);
+}
+
 TEST(Workload, Validation) {
   EXPECT_THROW(poisson_workload(1, 4, 1.0, 1), std::invalid_argument);
   EXPECT_THROW(poisson_workload(8, -1, 1.0, 1), std::invalid_argument);
   EXPECT_THROW(poisson_workload(8, 4, -1.0, 1), std::invalid_argument);
   EXPECT_THROW(hotspot_workload(8, 4, 9, 1.0, 1), std::invalid_argument);
   EXPECT_THROW(all_pairs_workload(1), std::invalid_argument);
+  OpenLoopWorkload::Config bad;
+  bad.cluster_size = 1;
+  EXPECT_THROW(OpenLoopWorkload{bad}, std::invalid_argument);
+  bad.cluster_size = 4;
+  bad.clusters = 0;
+  EXPECT_THROW(OpenLoopWorkload{bad}, std::invalid_argument);
+  bad.clusters = 2;
+  bad.mean_lifetime = -1.0;
+  EXPECT_THROW(OpenLoopWorkload{bad}, std::invalid_argument);
 }
 
 TEST(TrafficExperiment, StaticCellShapeIsSane) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "baselines/workload.h"
 #include "graph/algorithms.h"
@@ -226,6 +229,134 @@ TEST(ThreadInvariance, TrafficEngineReportsPerSession) {
       EXPECT_EQ(a.distinct_visited, b.distinct_visited) << i;
     }
   }
+}
+
+// The PR 9 acceptance gate's second axis: the shard count partitions
+// session state but must never be observable in any report field.
+TEST(ShardInvariance, ReportsIdenticalAcrossShardCounts) {
+  graph::Graph g = graph::connected_gnp(33, 0.18, 7);
+  baselines::Workload w = baselines::all_pairs_workload(33);
+  std::vector<SessionReport> base;
+  for (unsigned shards : {1u, 4u, 16u}) {
+    TrafficOptions opt;
+    opt.shards = shards;
+    TrafficEngine engine(g, opt);
+    engine.admit_all(w.sessions);
+    engine.run();
+    if (shards == 1) {
+      base = engine.reports();
+      continue;
+    }
+    ASSERT_EQ(engine.reports().size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const SessionReport& a = base[i];
+      const SessionReport& b = engine.reports()[i];
+      ASSERT_EQ(a.delivered, b.delivered) << "shards=" << shards << " " << i;
+      ASSERT_EQ(a.failure_certified, b.failure_certified) << i;
+      ASSERT_EQ(a.transmissions, b.transmissions) << i;
+      ASSERT_EQ(a.completed_at, b.completed_at) << i;
+    }
+  }
+}
+
+TEST(TrafficEngine, OpenLoopDeparturesRetireWithoutVerdict) {
+  graph::Graph g = graph::cycle(64);
+  TrafficEngine engine(g);
+  // Session 0: the antipodal walk needs far more than 5 transmissions;
+  // the user leaves at tick 5.  Session 1: same route, patient enough to
+  // see the verdict through.
+  SessionSpec leave;
+  leave.s = 0;
+  leave.t = 32;
+  leave.depart_at = 5;
+  SessionSpec stay;
+  stay.s = 0;
+  stay.t = 32;
+  engine.admit(leave);
+  engine.admit(stay);
+  engine.run();
+  const SessionReport& gone = engine.report(0);
+  EXPECT_TRUE(gone.finished);
+  EXPECT_TRUE(gone.departed);
+  EXPECT_FALSE(gone.delivered);
+  EXPECT_FALSE(gone.failure_certified);
+  // Rounds clamp to departure ticks, so the retirement instant is exact,
+  // and a slotted walk spends one transmission per tick until then.
+  EXPECT_EQ(gone.completed_at, 5u);
+  EXPECT_EQ(gone.transmissions, 5u);
+  const SessionReport& kept = engine.report(1);
+  EXPECT_FALSE(kept.departed);
+  EXPECT_TRUE(kept.delivered);
+  // depart_at must be strictly after admission.
+  SessionSpec bad;
+  bad.s = 1;
+  bad.t = 2;
+  bad.admit_at = engine.clock() + 10;
+  bad.depart_at = bad.admit_at;
+  EXPECT_THROW(engine.admit(bad), std::invalid_argument);
+}
+
+/// Replays a fixed schedule through the pull interface.
+class VectorArrivals final : public ArrivalSource {
+ public:
+  explicit VectorArrivals(std::vector<SessionSpec> specs)
+      : specs_(std::move(specs)) {}
+  std::optional<SessionSpec> next() override {
+    if (i_ >= specs_.size()) return std::nullopt;
+    return specs_[i_++];
+  }
+
+ private:
+  std::vector<SessionSpec> specs_;
+  std::size_t i_ = 0;
+};
+
+TEST(TrafficEngine, PulledArrivalsMatchUpFrontAdmission) {
+  // The open-loop contract: a stream pulled lazily during run() produces
+  // reports bit-identical to the same schedule admitted up front.
+  graph::Graph g = graph::grid(5, 5);
+  baselines::Workload w = baselines::poisson_workload(25, 120, 3.0, 21);
+  TrafficEngine up_front(g);
+  up_front.admit_all(w.sessions);
+  up_front.run();
+  TrafficEngine pulled(g);
+  VectorArrivals source(w.sessions);
+  pulled.attach_arrivals(source);
+  pulled.run();
+  ASSERT_EQ(pulled.reports().size(), up_front.reports().size());
+  for (std::size_t i = 0; i < up_front.reports().size(); ++i) {
+    const SessionReport& a = up_front.reports()[i];
+    const SessionReport& b = pulled.reports()[i];
+    ASSERT_EQ(a.admitted_at, b.admitted_at) << i;
+    ASSERT_EQ(a.delivered, b.delivered) << i;
+    ASSERT_EQ(a.transmissions, b.transmissions) << i;
+    ASSERT_EQ(a.completed_at, b.completed_at) << i;
+  }
+  EXPECT_EQ(pulled.clock(), up_front.clock());
+}
+
+TEST(ShardInvariance, OpenLoopCellAcrossThreadsAndShards) {
+  // Arrivals, departures, sharding and threading all at once: the folded
+  // cell (double-valued percentiles included) must not move.
+  const graph::Graph g = graph::disjoint_copies(graph::petersen(), 8);
+  baselines::OpenLoopWorkload::Config cfg;
+  cfg.cluster_size = 10;
+  cfg.clusters = 8;
+  cfg.sessions = 400;
+  cfg.mean_interarrival = 0.5;
+  cfg.mean_lifetime = 30.0;
+  cfg.seed = 5;
+  const baselines::TrafficCell base =
+      baselines::open_loop_traffic_experiment(g, cfg, 0x5eed0001,
+                                              /*threads=*/1, /*shards=*/1);
+  EXPECT_EQ(base.sessions, 400);
+  EXPECT_GT(base.delivered, 0);
+  EXPECT_GT(base.departed, 0);  // the lifetime knob actually bites
+  for (auto [threads, shards] :
+       {std::pair{4u, 4u}, {8u, 16u}, {1u, 16u}, {4u, 1u}})
+    EXPECT_EQ(base, baselines::open_loop_traffic_experiment(
+                        g, cfg, 0x5eed0001, threads, shards))
+        << "threads=" << threads << " shards=" << shards;
 }
 
 }  // namespace

@@ -102,5 +102,44 @@ TEST(SequenceCache, ConcurrentLookupsAgree) {
   EXPECT_EQ(cache.size(), 3u);
 }
 
+// Hammer the shared-lock hit path: prime one key, then have many threads
+// do nothing but hit it.  Every hit must return the *identical* immutable
+// object (pointer equality), the hit counter must account for every lookup
+// exactly, and the key must never be rebuilt.  Run under tsan in CI — a
+// data race between the shared-lock readers would trip there.
+TEST(SequenceCache, SharedLockHitPathHammer) {
+  SequenceCache cache;
+  const ExplorationSequence* primed = cache.standard(20, 11).get();
+  ASSERT_EQ(cache.misses(), 1u);
+  util::ThreadPool pool(8);
+  constexpr std::uint64_t kLookups = 4096;
+  std::vector<const ExplorationSequence*> seen(kLookups, nullptr);
+  util::parallel_for(pool, kLookups, 64, [&](const util::ChunkRange& c) {
+    for (std::uint64_t i = c.begin; i < c.end; ++i)
+      seen[i] = cache.standard(20, 11).get();
+  });
+  for (std::uint64_t i = 0; i < kLookups; ++i)
+    ASSERT_EQ(seen[i], primed) << i;
+  EXPECT_EQ(cache.misses(), 1u);  // never rebuilt
+  EXPECT_EQ(cache.hits(), kLookups);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// Concurrent misses on the same cold key: exactly one build, everyone gets
+// the winner's object (the upgrade race in get() resolves to a hit).
+TEST(SequenceCache, ConcurrentColdMissesBuildOnce) {
+  SequenceCache cache;
+  util::ThreadPool pool(8);
+  constexpr std::uint64_t kLookups = 64;
+  std::vector<const ExplorationSequence*> seen(kLookups, nullptr);
+  util::parallel_for(pool, kLookups, 1, [&](const util::ChunkRange& c) {
+    for (std::uint64_t i = c.begin; i < c.end; ++i)
+      seen[i] = cache.standard(31, 13).get();
+  });
+  for (std::uint64_t i = 1; i < kLookups; ++i) EXPECT_EQ(seen[i], seen[0]);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), kLookups - 1);
+}
+
 }  // namespace
 }  // namespace uesr::explore

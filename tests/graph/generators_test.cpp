@@ -232,5 +232,29 @@ TEST(Generators, SwitchRegularParityChecked) {
   EXPECT_THROW(random_regular_switch(4, 4, 1), std::invalid_argument);
 }
 
+TEST(Generators, DisjointCopiesPortIsomorphic) {
+  Graph cluster = petersen();
+  const NodeId n = cluster.num_nodes();
+  Graph sea = disjoint_copies(cluster, 7);
+  EXPECT_EQ(sea.num_nodes(), 7 * n);
+  EXPECT_EQ(sea.num_edges(), 7 * cluster.num_edges());
+  EXPECT_TRUE(sea.is_cubic());
+  for (NodeId c = 0; c < 7; ++c)
+    for (NodeId v = 0; v < n; ++v)
+      for (Port p = 0; p < cluster.degree(v); ++p) {
+        HalfEdge want = cluster.rotate(v, p);
+        EXPECT_EQ(sea.rotate(c * n + v, p),
+                  (HalfEdge{c * n + want.node, want.port}));
+      }
+}
+
+TEST(Generators, DisjointCopiesSingleCopyIsIdentity) {
+  Graph cluster = barbell(4, 2);  // non-regular, exercises mixed degrees
+  EXPECT_EQ(disjoint_copies(cluster, 1), cluster);
+  EXPECT_THROW(disjoint_copies(cluster, 0), std::invalid_argument);
+  EXPECT_THROW(disjoint_copies(GraphBuilder(0).build(), 2),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace uesr::graph

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "graph/generators.h"
 
 namespace uesr::graph {
@@ -38,6 +40,25 @@ TEST(Io, RoundTripEmptyAndIsolated) {
   Graph g = GraphBuilder(4).build();
   Graph h = from_edge_list(to_edge_list(g));
   EXPECT_EQ(g, h);
+}
+
+TEST(Io, StreamOverloadMatchesStringOverload) {
+  // The stream overload is the real parser; the string form is a wrapper.
+  // A stream fed in small chunks (stringstream here) must parse to the
+  // identical graph, including rotation-map ports.
+  Graph g = petersen();
+  std::string text = to_edge_list(g);
+  std::istringstream is(text);
+  Graph from_stream = from_edge_list(is);
+  EXPECT_EQ(from_stream, from_edge_list(text));
+  EXPECT_EQ(from_stream, g);
+  // The stream is consumed exactly to EOF — no lookahead beyond the data.
+  EXPECT_TRUE(is.eof());
+}
+
+TEST(Io, StreamOverloadRejectsMalformedMidStream) {
+  std::istringstream is("uesr-graph 2\n0 0 1 0\nbogus line\n");
+  EXPECT_THROW(from_edge_list(is), std::invalid_argument);
 }
 
 TEST(Io, RejectsBadHeader) {
