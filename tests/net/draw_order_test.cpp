@@ -1,0 +1,223 @@
+// Convention pin for the EventSim per-send draw order (DESIGN.md §5, R-rule
+// runtime counterpart): every channel decision for transmission #k over
+// directed link l comes from Pcg32(counter_hash(counter_hash(seed, l), k)),
+// consumed in EXACTLY this order:
+//
+//   1. loss        (skipped when loss == 0 — no draw consumed)
+//   2. latency     (skipped when latency_min == latency_max)
+//   3. dup         (skipped when dup == 0)
+//   4. dup latency (only when the dup draw fired)
+//   5. corrupt, main copy  (skipped when corrupt == 0) + its bit index
+//   6. corrupt, dup copy   (only when a dup exists)    + its bit index
+//
+// Reordering ANY of these breaks every pinned replay trace in the repo
+// (PR 6/7/8 convention; property P11 pins the corrupt-at-zero suffix).
+// Two pins here: a hand-rolled replica that consumes the stream in the
+// documented order and must predict the simulator exactly, and a golden
+// byte-for-byte trace snapshot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "net/sim.h"
+#include "util/rng.h"
+
+namespace uesr::net {
+namespace {
+
+/// What the replica predicts for one send.
+struct Predicted {
+  bool lost = false;
+  SimTime latency = 0;        ///< main copy
+  bool dup = false;
+  SimTime dup_latency = 0;    ///< dup copy, when any
+  std::uint64_t main_frame = 0;  ///< frame id after (possible) corruption
+  std::uint64_t dup_frame = 0;
+  bool main_corrupt = false;
+  bool dup_corrupt = false;
+};
+
+/// Replays the documented draw order by hand.  This function hard-codes
+/// the convention — if net/sim.cpp reorders its draws, the predictions
+/// diverge and the test fails.
+Predicted predict(std::uint64_t seed, std::uint64_t link, std::uint64_t event,
+                  const LinkModel& m, std::uint64_t frame_id) {
+  util::Pcg32 rng(util::counter_hash(util::counter_hash(seed, link), event));
+  auto latency_draw = [&]() -> SimTime {
+    const SimTime span = m.latency_max - m.latency_min;
+    if (span == 0) return m.latency_min;
+    return m.latency_min + rng.next_below(static_cast<std::uint32_t>(span + 1));
+  };
+  Predicted p;
+  p.main_frame = frame_id;
+  p.dup_frame = frame_id;
+  // Draw 1: loss.
+  if (m.loss > 0.0 && rng.next_double() < m.loss) {
+    p.lost = true;
+    return p;
+  }
+  // Draw 2: latency of the main copy.
+  p.latency = latency_draw();
+  // Draw 3: duplication.
+  p.dup = m.dup > 0.0 && rng.next_double() < m.dup;
+  // Draw 4: latency of the dup copy (only when one exists).
+  if (p.dup) p.dup_latency = latency_draw();
+  // Draw 5: corruption of the main copy, then its damaged bit.
+  if (m.corrupt > 0.0 && rng.next_double() < m.corrupt) {
+    p.main_corrupt = true;
+    p.main_frame ^= 1ULL << rng.next_below(64);
+  }
+  // Draw 6: corruption of the dup copy, then its damaged bit.
+  if (p.dup && m.corrupt > 0.0 && rng.next_double() < m.corrupt) {
+    p.dup_corrupt = true;
+    p.dup_frame ^= 1ULL << rng.next_below(64);
+  }
+  return p;
+}
+
+TEST(DrawOrder, ReplicaPredictsEverySendByConstruction) {
+  graph::Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.latency_min = 1;
+  m.latency_max = 8;
+  m.loss = 0.3;
+  m.dup = 0.35;
+  m.corrupt = 0.25;
+  const std::uint64_t seed = 0xdeadbeef;
+  EventSim sim(g, seed, m);
+  const std::uint64_t link = sim.link_index(0, 0);
+
+  // All sends depart at t=0; predictions double as the push schedule:
+  // per surviving send the main copy gets the next seq, then the dup.
+  constexpr std::uint64_t kSends = 200;
+  struct Expected {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t frame;
+    bool dup;
+    bool corrupt;
+  };
+  std::vector<Expected> arrivals;
+  std::uint64_t seq = 0, lost = 0, dups = 0, corrupt = 0;
+  for (std::uint64_t i = 0; i < kSends; ++i) {
+    const Predicted p = predict(seed, link, /*event=*/i, m, /*frame_id=*/i);
+    sim.send(0, 0, i);
+    if (p.lost) {
+      ++lost;
+      continue;
+    }
+    arrivals.push_back({p.latency, seq++, p.main_frame, false, p.main_corrupt});
+    corrupt += p.main_corrupt;
+    if (p.dup) {
+      ++dups;
+      arrivals.push_back(
+          {p.dup_latency, seq++, p.dup_frame, true, p.dup_corrupt});
+      corrupt += p.dup_corrupt;
+    }
+  }
+  ASSERT_GT(lost, 0u);     // the regime exercises every draw kind
+  ASSERT_GT(dups, 0u);
+  ASSERT_GT(corrupt, 0u);
+
+  // Pop order is (time, seq): sort the predictions the same way and the
+  // simulator must reproduce them field for field.
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Expected& a, const Expected& b) {
+              return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+            });
+  for (const Expected& want : arrivals) {
+    const auto ev = sim.next();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->time, want.time);
+    EXPECT_EQ(ev->seq, want.seq);
+    EXPECT_EQ(ev->frame_id, want.frame);
+    EXPECT_EQ(ev->duplicate, want.dup);
+    EXPECT_EQ(ev->corrupted, want.corrupt);
+  }
+  EXPECT_FALSE(sim.next().has_value());
+  EXPECT_EQ(sim.transmissions(), kSends);
+  EXPECT_EQ(sim.frames_lost(), lost);
+  EXPECT_EQ(sim.frames_duplicated(), dups);
+  EXPECT_EQ(sim.frames_corrupted(), corrupt);
+  EXPECT_EQ(sim.frames_delivered(), arrivals.size());
+}
+
+TEST(DrawOrder, NoDrawsConsumedWhenKnobsAreZero) {
+  // At loss = dup = corrupt = 0 and fixed latency NO draw is consumed:
+  // the per-(link, event) stream must be byte-compatible with pre-knob
+  // replays (the P11 guarantee, restated at the draw level).  The replica
+  // predicts a fixed-latency arrival without touching the rng.
+  graph::Graph g = graph::from_edges(2, {{0, 1}});
+  EventSim sim(g, 7, LinkModel{});  // latency 1..1, all probabilities 0
+  for (std::uint64_t i = 0; i < 16; ++i) sim.send(0, 0, i);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto ev = sim.next();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->time, 1u);
+    EXPECT_EQ(ev->frame_id, i);
+    EXPECT_FALSE(ev->duplicate);
+    EXPECT_FALSE(ev->corrupted);
+  }
+  EXPECT_EQ(sim.frames_lost(), 0u);
+}
+
+TEST(DrawOrder, GoldenTraceSnapshot) {
+  // Byte-for-byte snapshot of a 12-send chaos regime (seed 42, loss/dup/
+  // corrupt all 0.5, latency 1..4).  Any change to the draw order, the
+  // stream keying, or the trace format shows up here first.  Regenerate
+  // ONLY for an intentional, CHANGES.md-documented format change.
+  graph::Graph g = graph::from_edges(2, {{0, 1}});
+  LinkModel m;
+  m.latency_min = 1;
+  m.latency_max = 4;
+  m.loss = 0.5;
+  m.dup = 0.5;
+  m.corrupt = 0.5;
+  EventSim sim(g, 42, m);
+  sim.enable_trace(200);
+  for (std::uint64_t i = 0; i < 12; ++i) sim.send(0, 0, 100 + i);
+  while (sim.next()) {
+  }
+  const std::vector<std::string> golden = {
+      "S t=0 ev=0 link=0.0 f=100 sent",
+      "S t=0 ev=0 link=0.0 f=100 dup",
+      "S t=0 ev=1 link=0.0 f=101 sent corrupt",
+      "S t=0 ev=2 link=0.0 f=102 lost",
+      "S t=0 ev=3 link=0.0 f=103 sent",
+      "S t=0 ev=4 link=0.0 f=104 lost",
+      "S t=0 ev=5 link=0.0 f=105 lost",
+      "S t=0 ev=6 link=0.0 f=106 lost",
+      "S t=0 ev=7 link=0.0 f=107 sent",
+      "S t=0 ev=8 link=0.0 f=108 lost",
+      "S t=0 ev=9 link=0.0 f=109 sent",
+      "S t=0 ev=9 link=0.0 f=109 dup corrupt",
+      "S t=0 ev=10 link=0.0 f=110 sent corrupt",
+      "S t=0 ev=10 link=0.0 f=110 dup corrupt",
+      "S t=0 ev=11 link=0.0 f=111 sent corrupt",
+      "S t=0 ev=11 link=0.0 f=111 dup",
+      "E t=1 seq=3 arr node=1 port=0 from=0.0 f=103",
+      "E t=1 seq=8 arr node=1 port=0 from=0.0 f=2199023255662 dup corrupt",
+      "E t=1 seq=9 arr node=1 port=0 from=0.0 f=4194415 corrupt",
+      "E t=2 seq=0 arr node=1 port=0 from=0.0 f=100",
+      "E t=2 seq=1 arr node=1 port=0 from=0.0 f=100 dup",
+      "E t=3 seq=2 arr node=1 port=0 from=0.0 f=4294967397 corrupt",
+      "E t=3 seq=10 arr node=1 port=0 from=0.0 f=111 dup",
+      "E t=4 seq=4 arr node=1 port=0 from=0.0 f=107",
+      "E t=4 seq=5 arr node=1 port=0 from=0.0 f=109",
+      "E t=4 seq=6 arr node=1 port=0 from=0.0 f=288230376151711853 dup corrupt",
+      "E t=4 seq=7 arr node=1 port=0 from=0.0 f=4294967406 corrupt",
+  };
+  EXPECT_EQ(sim.trace(), golden);
+  EXPECT_EQ(sim.transmissions(), 12u);
+  EXPECT_EQ(sim.frames_lost(), 5u);
+  EXPECT_EQ(sim.frames_duplicated(), 4u);
+  EXPECT_EQ(sim.frames_corrupted(), 5u);
+  EXPECT_EQ(sim.frames_delivered(), 11u);
+}
+
+}  // namespace
+}  // namespace uesr::net

@@ -123,6 +123,7 @@ TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
           for (std::uint64_t i = c.begin; i < c.end; ++i) acc += value(i);
           return acc;
         },
+        // uesr-lint: ordered-reduce — this test IS the fp in-order-fold pin
         [](double acc, double part) { return acc + part; });
     // Same chunking => same partials => same merge order: bit-identical.
     ThreadPool one(1);
@@ -133,6 +134,7 @@ TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
           for (std::uint64_t i = c.begin; i < c.end; ++i) acc += value(i);
           return acc;
         },
+        // uesr-lint: ordered-reduce — serial reference for the pin above
         [](double acc, double part) { return acc + part; });
     EXPECT_EQ(got, chunked_serial) << "threads=" << threads;
     EXPECT_NEAR(got, serial, 1e-6);

@@ -1,0 +1,57 @@
+// Clean fixture: the repo's idioms as written — seed-explicit Pcg32,
+// per-trial counter_hash streams inside fan-outs, ordered containers in
+// report paths, fresh() on scenario shapes.  Zero diagnostics expected.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+using uesr::util::ChunkRange;
+using uesr::util::Pcg32;
+using uesr::util::ThreadPool;
+
+// Serial seed-explicit RNG at the top of a pure function: the E2 idiom.
+std::vector<std::uint32_t> draw_pairs(std::uint64_t seed, int n) {
+  Pcg32 rng(seed);
+  std::vector<std::uint32_t> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.next_below(1000));
+  return out;
+}
+
+// Fan-out with per-trial streams and an integer merge.
+std::uint64_t count_hits(ThreadPool& pool, std::uint64_t seed) {
+  return uesr::util::parallel_reduce<std::uint64_t>(
+      pool, 1 << 12, 1 << 8, std::uint64_t{0},
+      [&](const ChunkRange& c) {
+        std::uint64_t part = 0;
+        for (auto i = c.begin; i < c.end; ++i) {
+          Pcg32 rng(uesr::util::counter_hash(seed, i));
+          part += rng.next_double() < 0.5;
+        }
+        return part;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+// Ordered container in a report path: iteration order is the key order.
+std::uint64_t histogram_sum(const std::map<int, int>& histogram) {
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : histogram) sum += static_cast<std::uint64_t>(v);
+  return sum;
+}
+
+// A scenario shape with the replay contract.
+class Tides2DScenario {
+ public:
+  explicit Tides2DScenario(std::uint64_t seed) : seed_(seed) {}
+  std::unique_ptr<Tides2DScenario> fresh() const {
+    return std::make_unique<Tides2DScenario>(seed_);
+  }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};

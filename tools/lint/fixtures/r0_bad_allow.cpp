@@ -1,0 +1,22 @@
+// R0 fixture: malformed suppressions are themselves diagnostics, so a
+// typo can never silently disable a rule — and R0 is not suppressible.
+// lint_test pins this file's expectations explicitly (EXPECT markers
+// would read as reason text).  Expected: R0+R1 on each of the three
+// malformed lines, nothing on the valid one.  Never compiled.
+#include <cstdlib>
+
+int unknown_rule() {
+  return rand();  // uesr-lint: allow(R9) — no such rule
+}
+
+int missing_reason() {
+  return rand();  // uesr-lint: allow(R1)
+}
+
+int unknown_directive() {
+  return rand();  // uesr-lint: disable-next-line
+}
+
+int valid_suppression_still_works() {
+  return rand();  // uesr-lint: allow(R1) — reason present, no R0 here
+}

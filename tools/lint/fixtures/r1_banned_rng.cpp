@@ -1,0 +1,47 @@
+// R1 fixture: banned nondeterminism sources.  An EXPECT marker names the
+// rule that must flag its line; the allow() lines must be suppressed.
+// This file is lint-test data, never compiled.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int fire_rand() {
+  ::srand(42);                                // EXPECT(R1)
+  return rand() % 6;                          // EXPECT(R1)
+}
+
+unsigned fire_engines() {
+  std::random_device rd;                      // EXPECT(R1)
+  std::mt19937 gen(1234);                     // EXPECT(R1)
+  std::mt19937_64 wide(1234);                 // EXPECT(R1)
+  return gen() ^ static_cast<unsigned>(wide()) ^ rd();
+}
+
+long fire_wallclock_seed() {
+  return time(nullptr) ^ time(0);             // EXPECT(R1) EXPECT(R1)
+}
+
+const char* fire_getenv() {
+  return std::getenv("UESR_THREADS");         // EXPECT(R1)
+}
+
+int allowed_rand() {
+  return rand();  // uesr-lint: allow(R1) — fixture proving suppression works
+}
+
+const char* allowed_getenv() {
+  // uesr-lint: allow(R1) — preceding-comment-line form of the suppression
+  return std::getenv("HOME");
+}
+
+// Banned tokens inside strings and comments must NOT fire: rand(),
+// std::mt19937, time(nullptr).
+const char* strings_are_stripped() {
+  return "call rand() or std::random_device or time(0) here";
+}
+
+// A member named rand is not ::rand.
+struct HasRandMember {
+  int rand() { return 4; }  // uesr-lint: allow(R1) — declaration shares the banned name
+  int use() { return this->rand(); }
+};

@@ -1,0 +1,18 @@
+// R1 clock fixture: wall-clock reads are banned in src/ (library code must
+// be a pure function of its seeds) but legitimate in bench/tests/examples
+// (timing).  lint_test scans this content twice — once under a synthetic
+// src/ path (the EXPECT markers apply) and once under a bench/ path
+// (zero diagnostics).  Never compiled.
+#include <chrono>
+
+long fire_in_src_only() {
+  auto a = std::chrono::steady_clock::now();            // EXPECT(R1)
+  auto b = std::chrono::system_clock::now();            // EXPECT(R1)
+  auto c = std::chrono::high_resolution_clock::now();   // EXPECT(R1)
+  return (a - b).count() + c.time_since_epoch().count();
+}
+
+long allowed_in_src() {
+  // uesr-lint: allow(R1) — fixture: a justified library-side clock read
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

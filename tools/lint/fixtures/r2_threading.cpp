@@ -1,0 +1,32 @@
+// R2 fixture: raw threading primitives outside src/util/parallel.*.
+// Queries on std::thread (hardware_concurrency, ::id) are allowed — they
+// read topology, they do not spawn.  Never compiled.
+#include <future>
+#include <thread>
+#include <vector>
+
+void fire_spawns() {
+  std::thread t([] {});                       // EXPECT(R2)
+  std::jthread jt([] {});                     // EXPECT(R2)
+  auto f = std::async([] { return 1; });      // EXPECT(R2)
+  std::vector<std::thread> pool;              // EXPECT(R2)
+  t.join();
+  (void)f.get();
+}
+
+void fire_omp(int* data, int n) {
+#pragma omp parallel for                      // EXPECT(R2)
+  for (int i = 0; i < n; ++i) data[i] = i;
+}
+
+unsigned queries_are_fine() {
+  std::thread::id nobody;
+  (void)nobody;
+  return std::thread::hardware_concurrency();
+}
+
+void allowed_spawn() {
+  // uesr-lint: allow(R2) — fixture: a justified raw thread outside the pool
+  std::thread t([] {});
+  t.join();
+}

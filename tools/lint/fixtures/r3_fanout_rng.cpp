@@ -1,0 +1,67 @@
+// R3 fixture: a Pcg32 constructed inside a parallel fan-out must derive
+// its seed through counter_hash (the shared-stream bug class PR 3
+// eradicated).  Constructions outside fan-outs and per-index streams
+// inside them are clean.  Never compiled.
+#include "util/parallel.h"
+#include "util/rng.h"
+
+using uesr::util::ChunkRange;
+using uesr::util::Pcg32;
+using uesr::util::ThreadPool;
+
+double fire_shared_stream(ThreadPool& pool, std::uint64_t seed) {
+  return uesr::util::parallel_reduce<double>(
+      pool, 100, 10, 0.0,
+      [&](const ChunkRange& c) {
+        Pcg32 rng(seed);                      // EXPECT(R3)
+        double acc = 0;
+        for (auto i = c.begin; i < c.end; ++i) acc += rng.next_double();
+        return acc;
+      },
+      // uesr-lint: ordered-reduce — fixture: doubles merge in chunk order
+      [](double a, double b) { return a + b; });
+}
+
+double clean_per_trial_stream(ThreadPool& pool, std::uint64_t seed) {
+  return uesr::util::parallel_reduce<double>(
+      pool, 100, 10, 0.0,
+      [&](const ChunkRange& c) {
+        double acc = 0;
+        for (auto i = c.begin; i < c.end; ++i) {
+          Pcg32 rng(uesr::util::counter_hash(seed, i));  // per-trial stream
+          acc += rng.next_double();
+        }
+        return acc;
+      },
+      // uesr-lint: ordered-reduce — fixture: doubles merge in chunk order
+      [](double a, double b) { return a + b; });
+}
+
+// Outside any fan-out a serial Pcg32(seed) is the normal idiom.
+double clean_serial_use(std::uint64_t seed) {
+  Pcg32 rng(seed);
+  return rng.next_double();
+}
+
+void fire_in_parallel_for(ThreadPool& pool, std::uint64_t seed,
+                          double* out) {
+  uesr::util::parallel_for(pool, 64, 8, [&](const ChunkRange& c) {
+    Pcg32 rng{seed};                          // EXPECT(R3)
+    out[c.index] = rng.next_double();
+  });
+}
+
+void allowed_shared_stream(ThreadPool& pool, std::uint64_t seed,
+                           double* out) {
+  uesr::util::parallel_for(pool, 64, 8, [&](const ChunkRange& c) {
+    // uesr-lint: allow(R3) — fixture: lanes here are provably disjoint
+    Pcg32 rng(seed ^ c.index);
+    out[c.index] = rng.next_double();
+  });
+}
+
+// References and temporaries that only USE an existing engine are clean.
+void clean_reference_param(ThreadPool& pool, Pcg32& rng, double* out) {
+  uesr::util::parallel_for(pool, 1, 1,
+                           [&](const ChunkRange&) { out[0] = rng.next_double(); });
+}

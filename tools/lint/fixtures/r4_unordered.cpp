@@ -1,0 +1,40 @@
+// R4 fixture: iterating a std::unordered_map / std::unordered_set makes
+// output depend on hash-bucket order and breaks replay pinning.
+// Membership tests (find/count/contains) and ordered containers are
+// clean.  Never compiled.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::uint64_t fire_range_for(const std::unordered_map<int, int>& histogram) {
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : histogram) sum += k * v;  // EXPECT(R4)
+  return sum;
+}
+
+std::uint64_t fire_begin(std::unordered_set<int> pending) {
+  std::uint64_t first = 0;
+  auto it = pending.begin();                          // EXPECT(R4)
+  if (it != pending.end()) first = *it;
+  return first;
+}
+
+bool clean_membership(const std::unordered_set<std::uint64_t>& cancelled,
+                      std::uint64_t id) {
+  return cancelled.find(id) != cancelled.end() || cancelled.count(id) > 0;
+}
+
+std::uint64_t clean_ordered(const std::map<int, int>& ordered) {
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : ordered) sum += k * v;
+  return sum;
+}
+
+std::uint64_t allowed_iteration(const std::unordered_set<int>& alive) {
+  std::uint64_t count = 0;
+  // uesr-lint: allow(R4) — fixture: a count is order-independent
+  for (int v : alive) count += v > 0;
+  return count;
+}

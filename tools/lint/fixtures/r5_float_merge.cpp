@@ -1,0 +1,40 @@
+// R5 fixture: a parallel_reduce whose merge (final) argument accumulates
+// float/double must carry an `ordered-reduce` tag acknowledging that the
+// result is only deterministic because the fold runs in chunk order.
+// Integer merges and tagged merges are clean.  Never compiled.
+#include <cstdint>
+
+#include "util/parallel.h"
+
+using uesr::util::ChunkRange;
+using uesr::util::ThreadPool;
+
+double fire_untagged(ThreadPool& pool) {
+  return uesr::util::parallel_reduce<double>(
+      pool, 1000, 100, 0.0,
+      [](const ChunkRange& c) { return static_cast<double>(c.end - c.begin); },
+      [](double acc, double part) { return acc + part; });  // EXPECT(R5)
+}
+
+double clean_tagged(ThreadPool& pool) {
+  // uesr-lint: ordered-reduce — fp sums fold left-to-right in chunk order
+  return uesr::util::parallel_reduce<double>(
+      pool, 1000, 100, 0.0,
+      [](const ChunkRange& c) { return static_cast<double>(c.end - c.begin); },
+      [](double acc, double part) { return acc + part; });
+}
+
+std::uint64_t clean_integer_merge(ThreadPool& pool) {
+  return uesr::util::parallel_reduce<std::uint64_t>(
+      pool, 1000, 100, std::uint64_t{0},
+      [](const ChunkRange& c) { return c.end - c.begin; },
+      [](std::uint64_t acc, std::uint64_t part) { return acc + part; });
+}
+
+double allowed_untagged(ThreadPool& pool) {
+  return uesr::util::parallel_reduce<double>(
+      pool, 1000, 100, 0.0,
+      [](const ChunkRange& c) { return static_cast<double>(c.end - c.begin); },
+      // uesr-lint: allow(R5) — fixture: suppression instead of the tag
+      [](double acc, double part) { return acc + part; });
+}

@@ -1,0 +1,42 @@
+// R6 fixture: classes shaped like scenarios or fault plans (*Scenario,
+// *Plan) must expose fresh() — the seed-pure replay contract from PR 4
+// (churn scenarios) and PR 8 (FaultPlan).  Never compiled.
+#include <cstdint>
+#include <memory>
+
+struct BrownoutScenario {                     // EXPECT(R6)
+  std::uint64_t seed = 0;
+  void advance() {}
+};
+
+class OutagePlan {                            // EXPECT(R6)
+ public:
+  explicit OutagePlan(std::uint64_t seed) : seed_(seed) {}
+
+ private:
+  std::uint64_t seed_;
+};
+
+// The compliant shape: replayable via fresh().
+class MeteorScenario {
+ public:
+  explicit MeteorScenario(std::uint64_t seed) : seed_(seed) {}
+  std::unique_ptr<MeteorScenario> fresh() const {
+    return std::make_unique<MeteorScenario>(seed_);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+// Forward declarations and unrelated names never fire.
+class EclipseScenario;
+struct RoutePlanner {
+  int plan = 0;
+};
+enum class FallbackPlan { kNone, kRetry };
+
+// uesr-lint: allow(R6) — fixture: a stateless plan with nothing to replay
+struct StaticPlan {
+  static constexpr int kPhases = 3;
+};

@@ -1,0 +1,748 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parallel.h"
+
+namespace uesr::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer.  Produces a token stream (identifiers, numbers, punctuation,
+// whole preprocessor directives) with 1-based line numbers, plus the
+// comment text attached to each line (for allow() suppressions and the
+// ordered-reduce tag) and the set of lines that carry at least one token
+// (a suppression on a comment-only line covers the line below it).
+// Strings and character literals are consumed and dropped so banned
+// tokens inside messages never fire.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kDirective };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 1;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::map<int, std::string> comment_on_line;  ///< line -> comment text
+  std::set<int> token_lines;                   ///< lines with code tokens
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : s_(src) {}
+
+  Lexed run() {
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+
+  void add_comment(int line, const std::string& text) {
+    auto& slot = out_.comment_on_line[line];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  }
+
+  void emit(Token::Kind kind, std::string text) {
+    out_.token_lines.insert(line_);
+    out_.tokens.push_back(Token{kind, std::move(text), line_});
+  }
+
+  void line_comment() {
+    const std::size_t start = i_ + 2;
+    while (i_ < s_.size() && s_[i_] != '\n') ++i_;
+    add_comment(line_, s_.substr(start, i_ - start));
+  }
+
+  void block_comment() {
+    i_ += 2;
+    std::size_t seg = i_;
+    while (i_ + 1 < s_.size() && !(s_[i_] == '*' && s_[i_ + 1] == '/')) {
+      if (s_[i_] == '\n') {
+        add_comment(line_, s_.substr(seg, i_ - seg));
+        ++line_;
+        seg = i_ + 1;
+      }
+      ++i_;
+    }
+    add_comment(line_, s_.substr(seg, std::min(i_, s_.size()) - seg));
+    i_ = std::min(i_ + 2, s_.size());
+  }
+
+  /// Consumes a whole preprocessor line (backslash continuations included)
+  /// into one kDirective token; a trailing // comment is still recorded.
+  void directive() {
+    const int start_line = line_;
+    std::string text;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          ++line_;
+          ++i_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      text += c;
+      ++i_;
+    }
+    const int saved = line_;
+    line_ = start_line;
+    emit(Token::Kind::kDirective, std::move(text));
+    line_ = saved;
+    at_line_start_ = true;
+  }
+
+  void string_literal() {
+    ++i_;  // opening quote
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\\') {
+        i_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;  // ill-formed, but keep line counts sane
+      ++i_;
+      if (c == '"') break;
+    }
+  }
+
+  /// Raw string literal: the opening R" was consumed by identifier().
+  void raw_string() {
+    ++i_;  // the quote
+    std::string delim;
+    while (i_ < s_.size() && s_[i_] != '(') delim += s_[i_++];
+    const std::string close = ")" + delim + "\"";
+    const std::size_t end = s_.find(close, i_);
+    const std::size_t stop = end == std::string::npos ? s_.size()
+                                                      : end + close.size();
+    for (std::size_t j = i_; j < stop && j < s_.size(); ++j)
+      if (s_[j] == '\n') ++line_;
+    i_ = stop;
+  }
+
+  void char_literal() {
+    ++i_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_];
+      if (c == '\\') {
+        i_ += 2;
+        continue;
+      }
+      ++i_;
+      if (c == '\'') break;
+    }
+  }
+
+  void number() {
+    std::string text;
+    while (i_ < s_.size() &&
+           (ident_char(s_[i_]) || s_[i_] == '\'' ||
+            ((s_[i_] == '+' || s_[i_] == '-') &&
+             (peek(0) != '\0' && (s_[i_ - 1] == 'e' || s_[i_ - 1] == 'E' ||
+                                  s_[i_ - 1] == 'p' || s_[i_ - 1] == 'P'))) ||
+            s_[i_] == '.')) {
+      text += s_[i_++];
+    }
+    emit(Token::Kind::kNumber, std::move(text));
+  }
+
+  void identifier() {
+    std::string text;
+    while (i_ < s_.size() && ident_char(s_[i_])) text += s_[i_++];
+    // R"...(  /  u8R"...(  etc: a raw-string prefix, not an identifier.
+    if (i_ < s_.size() && s_[i_] == '"' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+         text == "LR")) {
+      raw_string();
+      return;
+    }
+    if (i_ < s_.size() && s_[i_] == '"') {
+      string_literal();  // encoding prefix (u8"...", L"...")
+      return;
+    }
+    emit(Token::Kind::kIdent, std::move(text));
+  }
+
+  void punct() {
+    // Only :: and -> are fused; every other punctuator is one character.
+    if (s_[i_] == ':' && peek(1) == ':') {
+      emit(Token::Kind::kPunct, "::");
+      i_ += 2;
+      return;
+    }
+    if (s_[i_] == '-' && peek(1) == '>') {
+      emit(Token::Kind::kPunct, "->");
+      i_ += 2;
+      return;
+    }
+    emit(Token::Kind::kPunct, std::string(1, s_[i_]));
+    ++i_;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  Lexed out_;
+};
+
+// ---------------------------------------------------------------------------
+// Path scoping helpers.  Paths are compared on forward-slash form; a
+// "prefix" matches at the string start or after any '/' so both
+// "src/util/rng.h" and "/abs/repo/src/util/rng.h" scope the same way.
+// ---------------------------------------------------------------------------
+
+std::string normalize(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool path_under(const std::string& path, const std::string& prefix) {
+  const std::string p = normalize(path);
+  if (p.rfind(prefix, 0) == 0) return true;
+  return p.find("/" + prefix) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.  `// uesr-lint: allow(Rn) — reason` on the flagged line or
+// on a comment-only line directly above.  `// uesr-lint: ordered-reduce —
+// reason` is the R5 acknowledgement tag.  Anything else after `uesr-lint:`
+// is an R0 diagnostic so typos cannot silently disable a rule.
+// ---------------------------------------------------------------------------
+
+struct Allows {
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Diagnostic> errors;  ///< R0: malformed directives
+};
+
+bool reason_ok(const std::string& text) {
+  int alnum = 0;
+  for (const char c : text)
+    if (std::isalnum(static_cast<unsigned char>(c))) ++alnum;
+  return alnum >= 3;
+}
+
+Allows parse_allows(const std::string& file, const Lexed& lx) {
+  static const char kTag[] = "uesr-lint:";
+  Allows out;
+  for (const auto& [line, text] : lx.comment_on_line) {
+    std::size_t pos = 0;
+    while ((pos = text.find(kTag, pos)) != std::string::npos) {
+      std::size_t p = pos + sizeof(kTag) - 1;
+      pos = p;  // continue searching after this directive
+      while (p < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[p])))
+        ++p;
+      if (text.compare(p, 14, "ordered-reduce") == 0) continue;  // R5 tag
+      if (text.compare(p, 6, "allow(") != 0) {
+        out.errors.push_back(
+            {file, line, "R0",
+             "unknown uesr-lint directive (expected allow(Rn) or "
+             "ordered-reduce)"});
+        continue;
+      }
+      p += 6;
+      const std::size_t close = text.find(')', p);
+      if (close == std::string::npos) {
+        out.errors.push_back({file, line, "R0", "unterminated allow("});
+        continue;
+      }
+      std::string rule = text.substr(p, close - p);
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](char c) {
+                                  return std::isspace(
+                                      static_cast<unsigned char>(c));
+                                }),
+                 rule.end());
+      const bool known = rule.size() == 2 && rule[0] == 'R' &&
+                         rule[1] >= '1' && rule[1] <= '6';
+      if (!known) {
+        out.errors.push_back({file, line, "R0",
+                              "allow() names unknown rule '" + rule + "'"});
+        continue;
+      }
+      // Reason: everything after ')' up to the next directive (if any).
+      std::size_t rbegin = close + 1;
+      std::size_t rend = text.find(kTag, rbegin);
+      if (rend == std::string::npos) rend = text.size();
+      if (!reason_ok(text.substr(rbegin, rend - rbegin))) {
+        out.errors.push_back(
+            {file, line, "R0",
+             "allow(" + rule + ") requires a reason after the paren"});
+        continue;
+      }
+      out.by_line[line].insert(rule);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scanner.
+// ---------------------------------------------------------------------------
+
+class Scanner {
+ public:
+  Scanner(const std::string& path, const Lexed& lx) : path_(path), lx_(lx) {}
+
+  std::vector<Diagnostic> run() {
+    rule1_banned_nondeterminism();
+    rule2_raw_threading();
+    rule3_pcg32_in_fanout();
+    rule4_unordered_iteration();
+    rule5_float_merge_untagged();
+    rule6_missing_fresh();
+    return std::move(out_);
+  }
+
+ private:
+  const std::vector<Token>& toks() const { return lx_.tokens; }
+
+  bool is(std::size_t i, const char* text) const {
+    return i < toks().size() && toks()[i].text == text;
+  }
+  bool is_ident(std::size_t i) const {
+    return i < toks().size() && toks()[i].kind == Token::Kind::kIdent;
+  }
+  bool prev_is_member_access(std::size_t i) const {
+    return i > 0 && (toks()[i - 1].text == "." || toks()[i - 1].text == "->");
+  }
+
+  void emit(int line, const char* rule, std::string msg) {
+    out_.push_back({path_, line, rule, std::move(msg)});
+  }
+
+  /// Index of the token matching the opener at `open` ("(" / "{"), or
+  /// toks().size() when unmatched.  Parens and braces are balanced
+  /// independently in well-formed code, so counting the opener's kind
+  /// alone is sufficient.
+  std::size_t match(std::size_t open) const {
+    const std::string& o = toks()[open].text;
+    const std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
+    int depth = 0;
+    for (std::size_t i = open; i < toks().size(); ++i) {
+      if (toks()[i].text == o) ++depth;
+      if (toks()[i].text == c && --depth == 0) return i;
+    }
+    return toks().size();
+  }
+
+  /// Matches a template argument list starting at `open` ("<").  Reliable
+  /// for type argument lists (no comparison operators inside).
+  std::size_t match_angle(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks().size(); ++i) {
+      if (toks()[i].text == "<") ++depth;
+      if (toks()[i].text == ">" && --depth == 0) return i;
+    }
+    return toks().size();
+  }
+
+  // R1 — banned nondeterminism sources.
+  void rule1_banned_nondeterminism() {
+    const bool in_src = path_under(path_, "src/");
+    const bool in_util = path_under(path_, "src/util/");
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      if (!is_ident(i)) continue;
+      const std::string& t = toks()[i].text;
+      const int line = toks()[i].line;
+      if ((t == "rand" || t == "srand") && is(i + 1, "(") &&
+          !prev_is_member_access(i)) {
+        emit(line, "R1",
+             t + "() is banned — use util::Pcg32 seeded via counter_hash");
+      } else if (t == "random_device") {
+        emit(line, "R1",
+             "std::random_device is banned — seeds must be explicit");
+      } else if (t.rfind("mt19937", 0) == 0) {
+        emit(line, "R1",
+             "std::" + t + " is banned — use util::Pcg32 (seed-explicit)");
+      } else if (t == "time" && is(i + 1, "(") && !prev_is_member_access(i) &&
+                 (is(i + 2, "nullptr") || is(i + 2, "NULL") ||
+                  is(i + 2, "0"))) {
+        emit(line, "R1",
+             "time(" + toks()[i + 2].text +
+                 ") wall-clock seeding is banned — seeds must be explicit");
+      } else if ((t == "steady_clock" || t == "system_clock" ||
+                  t == "high_resolution_clock") &&
+                 is(i + 1, "::") && is(i + 2, "now") && in_src) {
+        emit(line, "R1",
+             t + "::now() in library code breaks seed-purity — time in "
+                 "bench/ via bench_common Timer");
+      } else if (t == "getenv" && !in_util && !prev_is_member_access(i)) {
+        emit(line, "R1",
+             "getenv outside src/util/ — environment reads are resolved in "
+             "util::resolve_threads only");
+      }
+    }
+  }
+
+  // R2 — raw threading primitives outside src/util/parallel.*.
+  void rule2_raw_threading() {
+    if (path_under(path_, "src/util/parallel.")) return;
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      if (toks()[i].kind == Token::Kind::kDirective) {
+        const std::string& d = toks()[i].text;
+        if (d.find("pragma") != std::string::npos &&
+            d.find("omp") != std::string::npos) {
+          emit(toks()[i].line, "R2",
+               "#pragma omp outside util/parallel — fan out through "
+               "util::ThreadPool");
+        }
+        continue;
+      }
+      if (!is_ident(i)) continue;
+      const std::string& t = toks()[i].text;
+      const bool std_qualified = i >= 2 && is(i - 1, "::") && is(i - 2, "std");
+      if (t == "thread" && std_qualified && !is(i + 1, "::")) {
+        emit(toks()[i].line, "R2",
+             "raw std::thread outside util/parallel — use util::ThreadPool "
+             "(ordered-merge determinism)");
+      } else if ((t == "jthread" || t == "async") && std_qualified) {
+        emit(toks()[i].line, "R2",
+             "std::" + t + " outside util/parallel — use util::ThreadPool");
+      } else if (t == "pthread_create") {
+        emit(toks()[i].line, "R2",
+             "pthread_create outside util/parallel — use util::ThreadPool");
+      }
+    }
+  }
+
+  // R3 — Pcg32 constructed inside a parallel fan-out extent with a seed
+  // expression that never passes through counter_hash.
+  void rule3_pcg32_in_fanout() {
+    std::set<std::size_t> reported;
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      if (!is_ident(i)) continue;
+      const std::string& t = toks()[i].text;
+      if (t != "parallel_for" && t != "parallel_reduce" &&
+          t != "parallel_prefix_search")
+        continue;
+      std::size_t open = i + 1;
+      if (is(open, "<")) open = match_angle(open) + 1;  // explicit <T>
+      if (!is(open, "(")) continue;
+      const std::size_t close = match(open);
+      for (std::size_t j = open + 1; j < close; ++j) {
+        if (!is_ident(j) || toks()[j].text != "Pcg32") continue;
+        if (reported.count(j)) continue;  // nested extents
+        // Construction forms: `Pcg32 name(args)`, `Pcg32 name{args}`,
+        // `Pcg32(args)` (temporary).  `Pcg32&` / `Pcg32*` / template
+        // arguments are uses, not constructions.
+        std::size_t argopen = j + 1;
+        if (is_ident(argopen)) ++argopen;  // variable name
+        if (!is(argopen, "(") && !is(argopen, "{")) continue;
+        const std::size_t argclose = match(argopen);
+        bool hashed = false;
+        for (std::size_t k = argopen + 1; k < argclose; ++k)
+          if (toks()[k].text == "counter_hash") hashed = true;
+        if (!hashed) {
+          reported.insert(j);
+          emit(toks()[j].line, "R3",
+               "Pcg32 inside a parallel fan-out must derive its seed via "
+               "counter_hash(seed, index) — never a shared stream");
+        }
+      }
+    }
+  }
+
+  // R4 — iteration over unordered containers (ordering-dependent output).
+  void rule4_unordered_iteration() {
+    // Pass A: names declared with an unordered_{map,set} type.
+    std::set<std::string> tracked;
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      if (!is_ident(i)) continue;
+      const std::string& t = toks()[i].text;
+      if (t != "unordered_map" && t != "unordered_set" &&
+          t != "unordered_multimap" && t != "unordered_multiset")
+        continue;
+      std::size_t j = i + 1;
+      if (is(j, "<")) j = match_angle(j) + 1;
+      if (is(j, "::")) continue;  // nested-type use, not a declaration
+      while (is(j, "&") || is(j, "*") || is(j, "const")) ++j;  // declarator
+      if (is_ident(j) && !is(j + 1, "(")) tracked.insert(toks()[j].text);
+    }
+    if (tracked.empty()) return;
+    // Pass B: range-for over a tracked name, or explicit .begin() on one.
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      if (is(i, "for") && is(i + 1, "(")) {
+        const std::size_t close = match(i + 1);
+        // The range-for colon at the for-parens' own depth.
+        std::size_t colon = 0;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+          const std::string& t = toks()[j].text;
+          if (t == "(" || t == "[" || t == "{") ++depth;
+          if (t == ")" || t == "]" || t == "}") --depth;
+          if (t == ":" && depth == 1) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon == 0) continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (is_ident(j) && tracked.count(toks()[j].text)) {
+            emit(toks()[i].line, "R4",
+                 "range-for over unordered container '" + toks()[j].text +
+                     "' — iteration order is unspecified; use an ordered "
+                     "container or sort first");
+            break;
+          }
+        }
+      }
+      if (is_ident(i) && tracked.count(toks()[i].text) &&
+          (is(i + 1, ".") || is(i + 1, "->")) &&
+          (is(i + 2, "begin") || is(i + 2, "cbegin") || is(i + 2, "rbegin")) &&
+          is(i + 3, "(")) {
+        emit(toks()[i].line, "R4",
+             "iterating unordered container '" + toks()[i].text +
+                 "' — order is unspecified; membership tests are fine");
+      }
+    }
+  }
+
+  // R5 — float/double in a parallel_reduce merge argument without the
+  // ordered-reduce acknowledgement tag.
+  void rule5_float_merge_untagged() {
+    for (std::size_t i = 0; i < toks().size(); ++i) {
+      if (!is_ident(i) || toks()[i].text != "parallel_reduce") continue;
+      std::size_t open = i + 1;
+      if (is(open, "<")) open = match_angle(open) + 1;
+      if (!is(open, "(")) continue;
+      const std::size_t close = match(open);
+      // Final top-level argument: the combine callable.
+      std::size_t last_comma = open;
+      int depth = 0;
+      for (std::size_t j = open; j < close; ++j) {
+        const std::string& t = toks()[j].text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        if (t == ")" || t == "]" || t == "}") --depth;
+        if (t == "," && depth == 1) last_comma = j;
+      }
+      bool has_float = false;
+      for (std::size_t j = last_comma + 1; j < close; ++j)
+        if (is_ident(j) &&
+            (toks()[j].text == "float" || toks()[j].text == "double"))
+          has_float = true;
+      if (!has_float) continue;
+      bool tagged = false;
+      const int first = toks()[i].line - 3;
+      const int last = close < toks().size() ? toks()[close].line
+                                             : toks()[i].line;
+      for (int ln = first; ln <= last && !tagged; ++ln) {
+        const auto it = lx_.comment_on_line.find(ln);
+        if (it != lx_.comment_on_line.end() &&
+            it->second.find("ordered-reduce") != std::string::npos)
+          tagged = true;
+      }
+      if (!tagged) {
+        const std::size_t at = last_comma == open ? open : last_comma + 1;
+        emit(toks()[std::min(at + 1, close)].line, "R5",
+             "float accumulation in a parallel_reduce merge — add a "
+             "`// uesr-lint: ordered-reduce — <why>` tag acknowledging the "
+             "in-order fold");
+      }
+    }
+  }
+
+  // R6 — *Scenario / *Plan classes must declare fresh().
+  void rule6_missing_fresh() {
+    for (std::size_t i = 0; i + 1 < toks().size(); ++i) {
+      if (!is(i, "class") && !is(i, "struct")) continue;
+      if (i > 0 && is(i - 1, "enum")) continue;
+      if (!is_ident(i + 1)) continue;
+      const std::string& name = toks()[i + 1].text;
+      const bool shaped =
+          (name.size() > 8 &&
+           name.compare(name.size() - 8, 8, "Scenario") == 0) ||
+          (name.size() > 4 && name.compare(name.size() - 4, 4, "Plan") == 0);
+      if (!shaped) continue;
+      // Find the body opener; a ';' first means a forward declaration.
+      std::size_t j = i + 2;
+      while (j < toks().size() && !is(j, "{") && !is(j, ";")) {
+        if (is(j, "<")) j = match_angle(j);
+        ++j;
+      }
+      if (!is(j, "{")) continue;
+      const std::size_t end = match(j);
+      bool has_fresh = false;
+      for (std::size_t k = j + 1; k < end; ++k)
+        if (is_ident(k) && toks()[k].text == "fresh" && is(k + 1, "("))
+          has_fresh = true;
+      if (!has_fresh) {
+        emit(toks()[i].line, "R6",
+             name + " has no fresh() — scenario/fault schedules must be "
+                    "seed-pure and replayable (PR 4/8 convention)");
+      }
+    }
+  }
+
+  const std::string& path_;
+  const Lexed& lx_;
+  std::vector<Diagnostic> out_;
+};
+
+bool diag_less(const Diagnostic& a, const Diagnostic& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> scan_source(const std::string& path,
+                                    const std::string& content) {
+  const Lexed lx = Lexer(content).run();
+  const Allows allows = parse_allows(path, lx);
+  std::vector<Diagnostic> out = Scanner(path, lx).run();
+
+  // Apply per-line suppressions: the allow() may sit on the flagged line
+  // or on a comment-only line directly above it.  R0 is never suppressed.
+  auto allowed = [&](const Diagnostic& d) {
+    auto has = [&](int line) {
+      const auto it = allows.by_line.find(line);
+      return it != allows.by_line.end() && it->second.count(d.rule) > 0;
+    };
+    if (has(d.line)) return true;
+    return !lx.token_lines.count(d.line - 1) && has(d.line - 1);
+  };
+  out.erase(std::remove_if(out.begin(), out.end(), allowed), out.end());
+  out.insert(out.end(), allows.errors.begin(), allows.errors.end());
+  std::sort(out.begin(), out.end(), diag_less);
+  return out;
+}
+
+const std::vector<std::string>& default_subdirs() {
+  static const std::vector<std::string> kDirs = {"src", "bench", "tests",
+                                                 "examples"};
+  return kDirs;
+}
+
+std::vector<Diagnostic> scan_tree(const std::string& root,
+                                  const std::vector<std::string>& subdirs,
+                                  unsigned threads) {
+  namespace fs = std::filesystem;
+  // Collect (relative, absolute) pairs, then sort by relative path: the
+  // scan order — and therefore the report — is a pure function of the
+  // tree, not of directory-entry order.
+  std::vector<std::pair<std::string, fs::path>> files;
+  for (const auto& sub : subdirs) {
+    const fs::path dir = fs::path(root) / sub;
+    if (!fs::is_directory(dir))
+      throw std::runtime_error("uesr-lint: not a directory: " + dir.string());
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp")
+        continue;
+      files.emplace_back(
+          normalize(fs::relative(entry.path(), root).string()), entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  util::ThreadPool pool(threads);
+  // uesr-lint: ordered-reduce — diagnostics merge in file order so the
+  // report is bit-identical for any thread count (no floats here; the tag
+  // documents the contract this tool itself enforces).
+  return util::parallel_reduce<std::vector<Diagnostic>>(
+      pool, files.size(), util::default_chunk(files.size(), pool.size()),
+      std::vector<Diagnostic>{},
+      [&](const util::ChunkRange& c) {
+        std::vector<Diagnostic> part;
+        for (std::uint64_t i = c.begin; i < c.end; ++i) {
+          std::ifstream in(files[i].second, std::ios::binary);
+          if (!in)
+            throw std::runtime_error("uesr-lint: cannot read " +
+                                     files[i].second.string());
+          std::ostringstream buf;
+          buf << in.rdbuf();
+          auto diags = scan_source(files[i].first, buf.str());
+          part.insert(part.end(), std::make_move_iterator(diags.begin()),
+                      std::make_move_iterator(diags.end()));
+        }
+        return part;
+      },
+      [](std::vector<Diagnostic> acc, std::vector<Diagnostic> part) {
+        acc.insert(acc.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+        return acc;
+      });
+}
+
+std::string format(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+}  // namespace uesr::lint

@@ -1,0 +1,87 @@
+// uesr-lint: a token/AST-lite static-analysis pass enforcing the repo's
+// written determinism invariants (DESIGN.md §5).
+//
+// Every guarantee this reproduction makes — sound certificates under
+// loss/chaos, bit-identical reports for any thread/shard count,
+// byte-identical replay traces — rests on conventions that used to live
+// only as prose in CHANGES.md.  This tool machine-checks them:
+//
+//   R1  banned nondeterminism sources: rand()/srand(), std::random_device,
+//       std::mt19937*, time(NULL/nullptr/0), wall-clock reads
+//       (*_clock::now) inside src/ (library code must be a pure function
+//       of its seeds; timing belongs in bench/), and getenv outside
+//       src/util/ (UESR_THREADS is resolved in exactly one place).
+//   R2  raw threading primitives (std::thread construction, std::jthread,
+//       std::async, #pragma omp) outside src/util/parallel.* — all
+//       fan-outs go through util::ThreadPool so the ordered-merge
+//       determinism contract holds.  Queries like
+//       std::thread::hardware_concurrency() are allowed.
+//   R3  a Pcg32 constructed inside a parallel fan-out extent
+//       (parallel_for / parallel_reduce / parallel_prefix_search call)
+//       whose seed expression never passes through counter_hash — the
+//       shared-stream bug class PR 3 eradicated.
+//   R4  iteration (range-for, or .begin()) over a std::unordered_map /
+//       std::unordered_set variable — ordering-dependent output breaks
+//       replay pinning; membership tests (find/count/contains) are fine.
+//   R5  float/double accumulation in the merge (final) argument of a
+//       parallel_reduce call without an `ordered-reduce` comment tag
+//       acknowledging that determinism rests on the in-order fold.
+//   R6  a class/struct named *Scenario or *Plan with no fresh() method —
+//       scenario/fault schedules must be seed-pure and replayable
+//       (the PR 4 / PR 8 convention).
+//
+// Suppression is per-line and must carry a reason:
+//
+//   do_banned_thing();  // uesr-lint: allow(R1) — fixture exercising X
+//
+// The comment may sit on the flagged line or on a comment-only line
+// directly above it.  An allow() with an unknown rule or a missing reason
+// is itself a diagnostic (R0) and is not suppressible.
+//
+// The scanner is deliberately lexical (no libclang): it tokenizes C++,
+// strips strings, records comments, and pattern-matches token sequences.
+// That keeps it dependency-free and fast, at the cost of type blindness —
+// rules are written so their false positives are rare and suppressible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uesr::lint {
+
+/// One finding.  `rule` is "R0".."R6"; `file` is the path as given to the
+/// scanner (root-relative under scan_tree); `line` is 1-based.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Scans one in-memory translation unit.  `path` participates in the
+/// path-scoped rules (R1 clock/getenv scoping, R2 parallel.* exemption),
+/// so callers may pass a synthetic path to exercise them.  Diagnostics
+/// come back sorted by (line, rule) and already filtered through the
+/// per-line allow() suppressions found in `content`.
+std::vector<Diagnostic> scan_source(const std::string& path,
+                                    const std::string& content);
+
+/// Recursively scans every *.h / *.hpp / *.cc / *.cpp file under
+/// root/<subdir> for each subdir, in lexicographic path order, fanning the
+/// per-file scans out over `threads` lanes (0 = resolve_threads default)
+/// with the merge in path order — the diagnostic list is bit-identical
+/// for any thread count.  Paths in diagnostics are root-relative.
+/// Throws std::runtime_error when a subdir does not exist.
+std::vector<Diagnostic> scan_tree(const std::string& root,
+                                  const std::vector<std::string>& subdirs,
+                                  unsigned threads = 0);
+
+/// The default scan roots: src, bench, tests, examples.
+const std::vector<std::string>& default_subdirs();
+
+/// "file:line: [Rn] message" — the stable one-line rendering.
+std::string format(const Diagnostic& d);
+
+}  // namespace uesr::lint

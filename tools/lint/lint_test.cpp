@@ -1,0 +1,168 @@
+// Pins the uesr-lint rule engine against the fixture corpus: every rule
+// R1–R6 both fires and is suppressible with a reasoned allow(), malformed
+// suppressions surface as R0, path scoping works, and the tree scan is
+// bit-identical for any thread count.
+//
+// Fixtures carry their own expectations: `// EXPECT(Rn)` marks a line the
+// scanner must flag (multiple markers per line allowed); everything else
+// must be clean.  The R0 fixture is the one exception — markers would
+// read as allow() reason text — so its expectations are pinned here.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using uesr::lint::Diagnostic;
+using uesr::lint::scan_source;
+using uesr::lint::scan_tree;
+
+using LineRule = std::pair<int, std::string>;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(UESR_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Parses the `EXPECT(Rn)` markers: the (line, rule) multiset the scan
+/// must produce exactly.
+std::multiset<LineRule> expected_markers(const std::string& content) {
+  std::multiset<LineRule> out;
+  std::istringstream lines(content);
+  std::string line;
+  for (int ln = 1; std::getline(lines, line); ++ln) {
+    std::size_t pos = 0;
+    while ((pos = line.find("EXPECT(", pos)) != std::string::npos) {
+      const std::size_t close = line.find(')', pos);
+      if (close == std::string::npos) break;
+      out.emplace(ln, line.substr(pos + 7, close - pos - 7));
+      pos = close + 1;
+    }
+  }
+  return out;
+}
+
+std::multiset<LineRule> as_line_rules(const std::vector<Diagnostic>& diags) {
+  std::multiset<LineRule> out;
+  for (const auto& d : diags) out.emplace(d.line, d.rule);
+  return out;
+}
+
+/// Scans a fixture under `path` (the fixture name by default; synthetic
+/// paths exercise the path-scoped rules) and checks the marker contract.
+void check_fixture(const std::string& name, const std::string& path = "") {
+  const std::string content = read_fixture(name);
+  const auto diags = scan_source(path.empty() ? name : path, content);
+  EXPECT_EQ(expected_markers(content), as_line_rules(diags)) << name;
+}
+
+TEST(LintRules, R1BannedNondeterminismFiresAndSuppresses) {
+  check_fixture("r1_banned_rng.cpp");
+}
+
+TEST(LintRules, R1ClockReadsFireOnlyInLibraryCode) {
+  const std::string content = read_fixture("r1_clock.cpp");
+  // Under a src/ path the EXPECT markers apply...
+  const auto in_src = scan_source("src/net/clock_probe.cpp", content);
+  EXPECT_EQ(expected_markers(content), as_line_rules(in_src));
+  // ...under bench/ (timing is legitimate there) the file is clean.
+  EXPECT_TRUE(scan_source("bench/clock_probe.cpp", content).empty());
+}
+
+TEST(LintRules, R1GetenvAllowedOnlyInUtil) {
+  const std::string snippet = "int f() { return std::getenv(\"X\") != 0; }\n";
+  EXPECT_TRUE(scan_source("src/util/parallel.cpp", snippet).empty());
+  const auto elsewhere = scan_source("src/core/route.cpp", snippet);
+  ASSERT_EQ(elsewhere.size(), 1u);
+  EXPECT_EQ(elsewhere[0].rule, "R1");
+}
+
+TEST(LintRules, R2RawThreadingFiresAndSuppresses) {
+  check_fixture("r2_threading.cpp");
+}
+
+TEST(LintRules, R2ParallelHeaderIsExempt) {
+  const std::string snippet = "std::thread t([]{}); std::async([]{});\n";
+  EXPECT_TRUE(scan_source("src/util/parallel.h", snippet).empty());
+  EXPECT_TRUE(scan_source("src/util/parallel.cpp", snippet).empty());
+  EXPECT_FALSE(scan_source("src/core/traffic.cpp", snippet).empty());
+}
+
+TEST(LintRules, R3SharedStreamInFanoutFiresAndSuppresses) {
+  check_fixture("r3_fanout_rng.cpp");
+}
+
+TEST(LintRules, R4UnorderedIterationFiresAndSuppresses) {
+  check_fixture("r4_unordered.cpp");
+}
+
+TEST(LintRules, R5UntaggedFloatMergeFiresAndSuppresses) {
+  check_fixture("r5_float_merge.cpp");
+}
+
+TEST(LintRules, R6ScenarioWithoutFreshFiresAndSuppresses) {
+  check_fixture("r6_scenario.cpp");
+}
+
+TEST(LintRules, R0MalformedSuppressionsAreDiagnostics) {
+  const std::string content = read_fixture("r0_bad_allow.cpp");
+  const auto got = as_line_rules(scan_source("r0_bad_allow.cpp", content));
+  // Three malformed allow lines: each yields the R0 plus the undimmed R1.
+  const std::multiset<LineRule> want = {{9, "R0"},  {9, "R1"},
+                                        {13, "R0"}, {13, "R1"},
+                                        {17, "R0"}, {17, "R1"}};
+  EXPECT_EQ(want, got);
+}
+
+TEST(LintRules, CleanFixtureIsClean) { check_fixture("clean.cpp"); }
+
+TEST(LintEngine, BannedTokensInStringsAndCommentsDoNotFire) {
+  EXPECT_TRUE(scan_source("src/x.cpp",
+                          "// rand() std::mt19937 time(0)\n"
+                          "const char* s = \"rand() time(0)\";\n"
+                          "const char* r = R\"(std::random_device)\";\n")
+                  .empty());
+}
+
+TEST(LintEngine, FormatIsStable) {
+  EXPECT_EQ(uesr::lint::format({"src/a.cpp", 12, "R3", "msg"}),
+            "src/a.cpp:12: [R3] msg");
+}
+
+TEST(LintEngine, TreeScanIsThreadCountInvariant) {
+  const auto one = scan_tree(UESR_LINT_FIXTURE_DIR, {"."}, 1);
+  const auto four = scan_tree(UESR_LINT_FIXTURE_DIR, {"."}, 4);
+  const auto eight = scan_tree(UESR_LINT_FIXTURE_DIR, {"."}, 8);
+  EXPECT_FALSE(one.empty());  // the corpus is designed to fire
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+  // Deterministic ordering: (file, line, rule) ascending.
+  for (std::size_t i = 1; i < one.size(); ++i) {
+    const auto key = [](const Diagnostic& d) {
+      return std::make_tuple(d.file, d.line, d.rule, d.message);
+    };
+    EXPECT_LE(key(one[i - 1]), key(one[i]));
+  }
+}
+
+TEST(LintEngine, RepeatedScansAreIdentical) {
+  const std::string content = read_fixture("r1_banned_rng.cpp");
+  EXPECT_EQ(scan_source("r1_banned_rng.cpp", content),
+            scan_source("r1_banned_rng.cpp", content));
+}
+
+}  // namespace
